@@ -1,0 +1,231 @@
+package indra
+
+import (
+	"testing"
+)
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// runs the corresponding experiment end to end on the simulated
+// platform and reports the figure's headline quantity as a custom
+// metric, so `go test -bench=.` regenerates the entire evaluation.
+// The request count is kept small per iteration; cmd/indrabench runs
+// the same experiments with configurable depth.
+
+var benchOpts = ExpOptions{Requests: 4, Scale: 1.0, Seed: 1}
+
+func BenchmarkTable2DetectionMatrix(b *testing.B) {
+	var detected, rows int
+	for i := 0; i < b.N; i++ {
+		r, err := Table2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected, rows = 0, len(r.Rows)
+		for _, row := range r.Rows {
+			if row.Detected {
+				detected++
+			}
+		}
+	}
+	b.ReportMetric(float64(detected), "attacks-detected")
+	b.ReportMetric(float64(rows), "attacks-launched")
+}
+
+func BenchmarkTable3BackupSchemes(b *testing.B) {
+	var deltaBackup, pageBackup float64
+	for i := 0; i < b.N; i++ {
+		r, err := Table3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			switch row.Scheme {
+			case "indra-delta":
+				deltaBackup = float64(row.BackupCycles)
+			case "software-pagecopy":
+				pageBackup = float64(row.BackupCycles)
+			}
+		}
+	}
+	b.ReportMetric(deltaBackup, "delta-backup-cyc/req")
+	b.ReportMetric(pageBackup, "pagecopy-backup-cyc/req")
+	if pageBackup > 0 {
+		b.ReportMetric(pageBackup/deltaBackup, "delta-advantage-x")
+	}
+}
+
+func BenchmarkTable4Parameters(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(Table4())
+	}
+	b.ReportMetric(float64(n), "table-bytes")
+}
+
+func BenchmarkFig9IL1MissRate(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig9(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.Average
+	}
+	b.ReportMetric(avg, "avg-miss-%")
+}
+
+func BenchmarkFig10CAMFilter(b *testing.B) {
+	var r32, r64 float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig10(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r32, r64 = r.Average32, r.Average64
+	}
+	b.ReportMetric(r32, "remain-32-%")
+	b.ReportMetric(r64, "remain-64-%")
+}
+
+func BenchmarkFig11MonitorOverhead(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig11(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.Average
+	}
+	b.ReportMetric(avg, "avg-overhead-%")
+}
+
+func BenchmarkFig12QueueSize(b *testing.B) {
+	var at10, at32 float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig12(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at10 = r.Points[0].Normalized
+		for _, p := range r.Points {
+			if p.QueueEntries == 32 {
+				at32 = p.Normalized
+			}
+		}
+	}
+	b.ReportMetric(at10, "norm-RT-q10")
+	b.ReportMetric(at32, "norm-RT-q32")
+}
+
+func BenchmarkFig13RequestInterval(b *testing.B) {
+	var bind, max float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig13(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		max = 0
+		for _, row := range r.Rows {
+			if row.Service == "bind" {
+				bind = row.InstrPerReq
+			}
+			if row.InstrPerReq > max {
+				max = row.InstrPerReq
+			}
+		}
+	}
+	b.ReportMetric(bind, "bind-instr/req")
+	b.ReportMetric(max, "max-instr/req")
+}
+
+func BenchmarkFig14PageCopySlowdown(b *testing.B) {
+	var avg, bind float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig14(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.Average
+		for _, row := range r.Rows {
+			if row.Service == "bind" {
+				bind = row.Normalized
+			}
+		}
+	}
+	b.ReportMetric(avg, "avg-slowdown-x")
+	b.ReportMetric(bind, "bind-slowdown-x")
+}
+
+func BenchmarkFig15DirtyLineFraction(b *testing.B) {
+	var avg, bind float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig15(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.Average
+		for _, row := range r.Rows {
+			if row.Service == "bind" {
+				bind = row.BackupPct
+			}
+		}
+	}
+	b.ReportMetric(avg, "avg-dirty-%")
+	b.ReportMetric(bind, "bind-dirty-%")
+}
+
+func BenchmarkFig16BackupRollback(b *testing.B) {
+	var mb, rb float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig16(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mb, rb = 0, 0
+		for _, row := range r.Rows {
+			mb += row.MonitorBackup
+			rb += row.WithRollback
+		}
+		mb /= float64(len(r.Rows))
+		rb /= float64(len(r.Rows))
+	}
+	b.ReportMetric(mb, "monitor+backup-x")
+	b.ReportMetric(rb, "with-rollback-x")
+}
+
+// BenchmarkAvailability compares INDRA micro recovery against
+// restart-based recovery under recurring exploits (the paper's
+// motivating scenario, Section 2.2).
+func BenchmarkAvailability(b *testing.B) {
+	var indraAvail, rebootAvail float64
+	for i := 0; i < b.N; i++ {
+		r, err := Availability(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			switch row.Strategy {
+			case "indra-micro":
+				indraAvail = row.Availability
+			case "reboot":
+				rebootAvail = row.Availability
+			}
+		}
+	}
+	b.ReportMetric(indraAvail*100, "indra-avail-%")
+	b.ReportMetric(rebootAvail*100, "reboot-avail-%")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (simulated instructions per wall-clock second), for the curious.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		run, err := RunService("httpd", Options{Requests: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += run.Result.Instret
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}

@@ -1,0 +1,101 @@
+package indra
+
+import (
+	"testing"
+
+	"indra/internal/checkpoint"
+	"indra/internal/workload"
+)
+
+// TestCalibrationReport prints the dynamic characteristics that anchor
+// the experiment reproductions (run with -v). It also asserts the
+// coarse invariants the figures depend on:
+//
+//   - bind has the shortest request interval (Figure 13's outlier) and
+//     the densest dirty lines per touched page (Figure 15),
+//   - IL1 miss rates stay in the paper's low single-digit band (Fig 9),
+//   - the 32-entry CAM filters the large majority of origin checks (Fig 10).
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is not short")
+	}
+	type row struct {
+		name             string
+		instrPerReq      float64
+		cpi              float64
+		il1Miss          float64
+		camFiltered      float64
+		dirtyLinesPerReq float64
+		dirtyDensity     float64
+		backupCycleFrac  float64
+		traceStallFrac   float64
+		syncStallFrac    float64
+	}
+	var rows []row
+	for _, name := range workload.Names() {
+		run, err := RunService(name, Options{Requests: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if run.Summary.Served != 10 {
+			t.Fatalf("%s: served %d/10", name, run.Summary.Served)
+		}
+		cs := run.Chip.Core(0).Stats()
+		il1 := run.Chip.Core(0).Hierarchy().L1I().Stats()
+		cam := run.Chip.Core(0).CAM()
+		eng := run.Process().Ckpt.(*checkpoint.Engine)
+		es := eng.Stats()
+
+		nreq := float64(run.Summary.Served)
+		r := row{
+			name:             name,
+			instrPerReq:      float64(cs.Instret) / nreq,
+			cpi:              float64(cs.Cycles) / float64(cs.Instret),
+			il1Miss:          il1.MissRate() * 100,
+			dirtyLinesPerReq: float64(es.LineBackups) / nreq,
+			backupCycleFrac:  float64(es.BackupCycles) / float64(cs.Cycles) * 100,
+			traceStallFrac:   float64(cs.TraceStall) / float64(cs.Cycles) * 100,
+			syncStallFrac:    float64(cs.SyncStall) / float64(cs.Cycles) * 100,
+		}
+		if cam.Hits()+cam.Misses() > 0 {
+			r.camFiltered = float64(cam.Hits()) / float64(cam.Hits()+cam.Misses()) * 100
+		}
+		if es.DirtyPageTouches > 0 {
+			r.dirtyDensity = float64(es.LineBackups) / float64(es.DirtyPageTouches*128) * 100
+		}
+		rows = append(rows, r)
+	}
+
+	t.Logf("%-9s %12s %6s %8s %8s %10s %9s %8s %8s %8s", "service", "instr/req", "CPI",
+		"IL1miss%", "CAMflt%", "dirty/req", "density%", "backup%", "fifoSt%", "syncSt%")
+	byName := map[string]row{}
+	for _, r := range rows {
+		byName[r.name] = r
+		t.Logf("%-9s %12.0f %6.2f %8.2f %8.1f %10.0f %9.1f %8.1f %8.2f %8.2f",
+			r.name, r.instrPerReq, r.cpi, r.il1Miss, r.camFiltered,
+			r.dirtyLinesPerReq, r.dirtyDensity, r.backupCycleFrac,
+			r.traceStallFrac, r.syncStallFrac)
+	}
+
+	for _, r := range rows {
+		if r.name == "bind" {
+			continue
+		}
+		if byName["bind"].instrPerReq >= r.instrPerReq {
+			t.Errorf("bind interval (%.0f) should be shortest, but %s has %.0f",
+				byName["bind"].instrPerReq, r.name, r.instrPerReq)
+		}
+		if byName["bind"].dirtyDensity <= r.dirtyDensity {
+			t.Errorf("bind dirty density (%.1f%%) should be highest, but %s has %.1f%%",
+				byName["bind"].dirtyDensity, r.name, r.dirtyDensity)
+		}
+	}
+	for _, r := range rows {
+		if r.il1Miss > 8.0 {
+			t.Errorf("%s: IL1 miss rate %.2f%% above the paper's band", r.name, r.il1Miss)
+		}
+		if r.camFiltered < 75 {
+			t.Errorf("%s: CAM filters only %.1f%% of origin checks", r.name, r.camFiltered)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command indrabench regenerates the tables and figures of the INDRA
+// paper's evaluation (Section 4) on the simulated platform.
+//
+// Usage:
+//
+//	indrabench -experiment all
+//	indrabench -experiment fig16 -requests 10 -scale 1
+//	indrabench -experiment table3
+//
+// Experiments: table2 table3 table4 fig9 fig10 fig11 fig12 fig13 fig14
+// fig15 fig16, or "all". Scale 1.0 is the calibrated 1/10-paper request
+// length; -scale 10 restores the paper's full instruction intervals
+// (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indra"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "experiment id (table2..4, fig9..16, ablation-line/cam/monitor/rollback/space, all)")
+		requests = flag.Int("requests", 8, "legitimate requests per service")
+		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = 1/10 paper)")
+		seed     = flag.Uint("seed", 1, "request stream seed")
+	)
+	flag.Parse()
+
+	o := indra.ExpOptions{Requests: *requests, Scale: *scale, Seed: uint32(*seed)}
+
+	type runner struct {
+		id string
+		fn func() (string, error)
+	}
+	runners := []runner{
+		{"table2", func() (string, error) { r, err := indra.Table2(o); return fmtOr(r, err) }},
+		{"table3", func() (string, error) { r, err := indra.Table3(o); return fmtOr(r, err) }},
+		{"table4", func() (string, error) { return indra.Table4(), nil }},
+		{"fig9", func() (string, error) { r, err := indra.Fig9(o); return fmtOr(r, err) }},
+		{"fig10", func() (string, error) { r, err := indra.Fig10(o); return fmtOr(r, err) }},
+		{"fig11", func() (string, error) { r, err := indra.Fig11(o); return fmtOr(r, err) }},
+		{"fig12", func() (string, error) { r, err := indra.Fig12(o); return fmtOr(r, err) }},
+		{"fig13", func() (string, error) { r, err := indra.Fig13(o); return fmtOr(r, err) }},
+		{"fig14", func() (string, error) { r, err := indra.Fig14(o); return fmtOr(r, err) }},
+		{"fig15", func() (string, error) { r, err := indra.Fig15(o); return fmtOr(r, err) }},
+		{"fig16", func() (string, error) { r, err := indra.Fig16(o); return fmtOr(r, err) }},
+		{"ablation-line", func() (string, error) { r, err := indra.AblationLineSize(o); return fmtOr(r, err) }},
+		{"ablation-cam", func() (string, error) { r, err := indra.AblationCAM(o); return fmtOr(r, err) }},
+		{"ablation-monitor", func() (string, error) { r, err := indra.AblationMonitorSpeed(o); return fmtOr(r, err) }},
+		{"ablation-rollback", func() (string, error) { r, err := indra.AblationRollback(o); return fmtOr(r, err) }},
+		{"ablation-space", func() (string, error) { r, err := indra.AblationSpace(o); return fmtOr(r, err) }},
+		{"ablation-resurrectors", func() (string, error) { r, err := indra.AblationResurrectors(o); return fmtOr(r, err) }},
+		{"availability", func() (string, error) { r, err := indra.Availability(o); return fmtOr(r, err) }},
+		{"latency", func() (string, error) { r, err := indra.DetectionLatency(o); return fmtOr(r, err) }},
+		{"ablation-bpred", func() (string, error) { r, err := indra.AblationBPred(o); return fmtOr(r, err) }},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, r := range runners {
+		if want != "all" && want != r.id {
+			continue
+		}
+		ran = true
+		out, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "indrabench: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "indrabench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+type formatter interface{ Format() string }
+
+func fmtOr(r formatter, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Format(), nil
+}

@@ -1,0 +1,185 @@
+// Command indrasim boots the INDRA platform, runs one of the six
+// network services against a request stream (optionally laced with
+// exploits), and reports what the resurrector saw and how the service
+// fared.
+//
+// Examples:
+//
+//	indrasim -service httpd -requests 10
+//	indrasim -service bind -requests 8 -attack stack-smash,dos-crash
+//	indrasim -service nfs -scheme software-pagecopy -monitor=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indra"
+	"indra/internal/attack"
+	"indra/internal/checkpoint"
+	"indra/internal/chip"
+	"indra/internal/netsim"
+	"indra/internal/workload"
+)
+
+func main() {
+	var (
+		service  = flag.String("service", "httpd", "service (comma-separate several to time-multiplex them on one core): "+strings.Join(workload.Names(), ", "))
+		requests = flag.Int("requests", 8, "legitimate requests")
+		seed     = flag.Uint("seed", 1, "request stream seed")
+		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = 1/10 paper)")
+		attacks  = flag.String("attack", "", "comma-separated attack kinds: stack-smash, inject-code, fptr-hijack, dos-crash, dos-hang")
+		scheme   = flag.String("scheme", "indra-delta", "backup scheme: indra-delta, software-pagecopy, hw-virtual-copy, update-log, none")
+		monitor  = flag.Bool("monitor", true, "enable the resurrector's monitoring")
+		fifoSz   = flag.Int("fifo", 32, "trace FIFO entries")
+		camSz    = flag.Int("cam", 32, "code-origin CAM entries")
+		budget   = flag.Uint64("budget", 2_000_000, "per-request instruction budget (DoS liveness)")
+		verbose  = flag.Bool("v", false, "print boot sequence and per-request records")
+	)
+	flag.Parse()
+
+	cfg := chip.DefaultConfig()
+	cfg.Monitoring = *monitor
+	cfg.FIFOEntries = *fifoSz
+	cfg.CAMSize = *camSz
+	cfg.Recovery.InstrBudget = *budget
+	switch *scheme {
+	case "indra-delta":
+		cfg.Scheme = chip.SchemeDelta
+	case "software-pagecopy":
+		cfg.Scheme = chip.SchemeSoftwarePageCopy
+	case "hw-virtual-copy":
+		cfg.Scheme = chip.SchemeHWVirtualCopy
+	case "update-log":
+		cfg.Scheme = chip.SchemeUpdateLog
+	case "none":
+		cfg.Scheme = chip.SchemeNone
+	default:
+		fatalf("unknown scheme %q", *scheme)
+	}
+
+	var kinds []attack.Kind
+	if *attacks != "" {
+		for _, a := range strings.Split(*attacks, ",") {
+			kinds = append(kinds, attack.Kind(strings.TrimSpace(a)))
+		}
+	}
+
+	services := strings.Split(*service, ",")
+	if len(services) > 1 {
+		runMultiplexed(cfg, services, *requests, uint32(*seed), *scale)
+		return
+	}
+
+	run, err := indra.RunService(*service, indra.Options{
+		Chip:     &cfg,
+		Requests: *requests,
+		Seed:     uint32(*seed),
+		Scale:    *scale,
+		Attacks:  kinds,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *verbose {
+		fmt.Println("boot sequence:")
+		for _, s := range run.Chip.Boot().Steps {
+			fmt.Println("  " + s)
+		}
+		fmt.Println()
+	}
+
+	sum := run.Summary
+	fmt.Printf("service %s: %d requests (%d served, %d aborted, %d undelivered)\n",
+		run.Name, sum.Total, sum.Served, sum.Aborted, sum.Undelivered)
+	fmt.Printf("executed %d instructions in %d cycles (CPI %.2f); mean response %.0f cycles\n",
+		run.Result.Instret, run.Result.Cycles,
+		float64(run.Result.Cycles)/float64(run.Result.Instret), sum.MeanRT)
+
+	cs := run.Chip.Core(0).Stats()
+	il1 := run.Chip.Core(0).Hierarchy().L1I().Stats()
+	fmt.Printf("IL1 miss rate %.2f%%; %d origin checks after CAM filtering; FIFO stalls %d cyc; sync stalls %d cyc\n",
+		il1.MissRate()*100, cs.OriginChecks, cs.TraceStall, cs.SyncStall)
+
+	if p := run.Process(); p != nil && p.Ckpt != nil {
+		if eng, ok := p.Ckpt.(*checkpoint.Engine); ok {
+			st := eng.Stats()
+			fmt.Printf("delta engine: %d line backups, %d lazy restores, %d pages tracked\n",
+				st.LineBackups, st.LineRestores, eng.TrackedPages())
+		} else {
+			ov := p.Ckpt.Overhead()
+			fmt.Printf("%s: backup %d cyc (%d ops), recovery %d cyc (%d ops)\n",
+				p.Ckpt.Name(), ov.BackupCycles, ov.BackupOps, ov.RecoveryCycles, ov.RecoveryOps)
+		}
+	}
+
+	if vs := run.Violations(); len(vs) > 0 {
+		fmt.Printf("\nresurrector detections (%d):\n", len(vs))
+		for _, v := range vs {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	rec := run.Recovery()
+	if rec.MicroRecoveries+rec.MacroRecoveries > 0 {
+		fmt.Printf("recoveries: %d micro, %d macro, %d liveness kills (%d cycles total)\n",
+			rec.MicroRecoveries, rec.MacroRecoveries, rec.BudgetKills, rec.RecoveryCycles)
+	}
+
+	if *verbose {
+		fmt.Println("\nper-request log:")
+		for _, r := range run.Port.Records() {
+			fmt.Printf("  #%-3d %-12s %-11s rt=%d\n", r.ID, r.Label, r.Outcome, r.ResponseTime())
+		}
+	}
+}
+
+// runMultiplexed time-shares several services on one resurrectee core
+// (request-grained round-robin, per-process GTS, CR3-keyed monitoring).
+func runMultiplexed(cfg chip.Config, services []string, requests int, seed uint32, scale float64) {
+	ch, err := chip.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	type svc struct {
+		name string
+		port *netsim.Port
+	}
+	var launched []svc
+	for i, name := range services {
+		name = strings.TrimSpace(name)
+		params, err := workload.ByName(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if scale != 1.0 {
+			params = params.Scale(scale)
+		}
+		prog, err := params.BuildProgram()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		port := netsim.NewPort(params.GenRequests(requests, seed+uint32(i)))
+		if _, err := ch.LaunchService(0, name, prog, port); err != nil {
+			fatalf("%v", err)
+		}
+		launched = append(launched, svc{name, port})
+	}
+	if _, err := ch.Run(0); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("multiplexed %d services on one resurrectee core:\n", len(launched))
+	for _, s := range launched {
+		sum := s.port.Summarize()
+		fmt.Printf("  %-10s served %d/%d, mean RT %.0f cycles (p95 %d)\n",
+			s.name, sum.Served, sum.Total, sum.MeanRT, s.port.Percentile(0.95))
+	}
+	fmt.Printf("violations: %d; recoveries: %+v\n", len(ch.Violations()), ch.Recovery().Stats())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "indrasim: "+format+"\n", args...)
+	os.Exit(1)
+}

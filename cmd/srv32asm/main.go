@@ -1,0 +1,62 @@
+// Command srv32asm assembles and disassembles SRV32 programs, and can
+// dump the generated source of the built-in synthetic services.
+//
+//	srv32asm prog.s             assemble, print symbols and sizes
+//	srv32asm -d prog.s          assemble then disassemble
+//	srv32asm -gen httpd         print the generated httpd service source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"indra/internal/asm"
+	"indra/internal/workload"
+)
+
+func main() {
+	var (
+		disasm = flag.Bool("d", false, "disassemble after assembling")
+		gen    = flag.String("gen", "", "print the generated source of a built-in service")
+	)
+	flag.Parse()
+
+	if *gen != "" {
+		p, err := workload.ByName(*gen)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(p.GenerateSource())
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: srv32asm [-d] prog.s | srv32asm -gen <service>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("text %6d bytes @ %#x\n", len(prog.Text), prog.TextBase)
+	fmt.Printf("data %6d bytes @ %#x\n", len(prog.Data), prog.DataBase)
+	fmt.Printf("entry %#x; %d functions, %d exports\n", prog.Entry, len(prog.Funcs), len(prog.Exports))
+	fmt.Println("symbols:")
+	for _, s := range asm.SymbolsByAddr(prog) {
+		fmt.Println("  " + s)
+	}
+	if *disasm {
+		fmt.Println()
+		fmt.Print(asm.Disassemble(prog))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "srv32asm: "+format+"\n", args...)
+	os.Exit(1)
+}

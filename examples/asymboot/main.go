@@ -1,0 +1,66 @@
+// Asymboot: demonstrate the asymmetric boot sequence (Section 3.1.2)
+// and the hardware insulation it establishes — the resurrector's
+// memory is physically unreachable from the resurrectee cores, which
+// is what makes the monitor remote-attack immune.
+//
+//	go run ./examples/asymboot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indra/internal/chip"
+	"indra/internal/netsim"
+	"indra/internal/watchdog"
+	"indra/internal/workload"
+)
+
+func main() {
+	cfg := chip.DefaultConfig()
+	ch, err := chip.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== asymmetric boot sequence ===")
+	for i, step := range ch.Boot().Steps {
+		fmt.Printf("%d. %s\n", i+1, step)
+	}
+
+	fmt.Println("\n=== insulation probes (hardware memory watchdog) ===")
+	wd := ch.Watchdog()
+	probe := func(core int, addr uint32, op watchdog.Access, what string) {
+		err := wd.Check(core, addr, op)
+		verdict := "ALLOWED"
+		if err != nil {
+			verdict = "DENIED "
+		}
+		fmt.Printf("%s  core %d %-7s %#010x  (%s)\n", verdict, core, op, addr, what)
+	}
+	resurrectorRTS := uint32(0x0000_2000)
+	resurrecteeRAM := cfg.ResurrectorMemBytes + 0x1000
+	probe(0, resurrectorRTS, watchdog.Read, "resurrector reads its runtime system")
+	probe(0, resurrecteeRAM, watchdog.Write, "resurrector writes resurrectee memory (introspection)")
+	probe(1, resurrecteeRAM, watchdog.Write, "resurrectee writes its own partition")
+	probe(1, resurrectorRTS, watchdog.Read, "resurrectee tries to READ the monitor's memory")
+	probe(1, resurrectorRTS, watchdog.Write, "resurrectee tries to WRITE the monitor's memory")
+	probe(1, cfg.PhysMemBytes+0x1000, watchdog.Read, "resurrectee reads past physical memory")
+
+	// Run a short service so the whole stack is exercised on top of the
+	// partitions just demonstrated.
+	params := workload.MustByName("bind")
+	prog, err := params.BuildProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	port := netsim.NewPort(params.GenRequests(2, 1))
+	if _, err := ch.LaunchService(0, "bind", prog, port); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ch.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nservice ran on the insulated platform: %d/%d served, watchdog checked %d accesses (%d violations)\n",
+		port.Summarize().Served, port.Summarize().Total, wd.Checks(), wd.Violations())
+}

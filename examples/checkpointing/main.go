@@ -1,0 +1,75 @@
+// Checkpointing: run the same service and the same
+// rollback-every-other-request attack pattern under all four memory
+// backup schemes (Table 3 of the paper) and compare their costs — the
+// delta engine's point is visible directly: it moves two orders of
+// magnitude fewer backup granules than page-granular checkpointing and
+// recovers orders of magnitude faster than an update log.
+//
+//	go run ./examples/checkpointing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indra/internal/attack"
+	"indra/internal/chip"
+	"indra/internal/netsim"
+	"indra/internal/workload"
+)
+
+func main() {
+	params := workload.MustByName("httpd")
+	prog, err := params.BuildProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alternate legitimate requests with crash payloads that detonate
+	// only after a full request's worth of work — every other request
+	// is rolled back with realistic damage to undo.
+	legit := params.GenRequests(5, 1)
+	build := func() *netsim.Port {
+		var stream []netsim.Request
+		for _, rq := range legit {
+			cp := rq
+			cp.Payload = append([]byte(nil), rq.Payload...)
+			stream = append(stream, cp, attack.NewDoSLateCrash())
+		}
+		return netsim.NewPort(stream)
+	}
+
+	schemes := []chip.SchemeKind{
+		chip.SchemeSoftwarePageCopy,
+		chip.SchemeHWVirtualCopy,
+		chip.SchemeUpdateLog,
+		chip.SchemeDelta,
+	}
+
+	fmt.Printf("%-20s %14s %12s %14s %12s %10s\n",
+		"scheme", "backup cyc", "backup ops", "recover cyc", "recover ops", "mean RT")
+	for _, sk := range schemes {
+		cfg := chip.DefaultConfig()
+		cfg.Scheme = sk
+		ch, err := chip.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		port := build()
+		if _, err := ch.LaunchService(0, "httpd", prog, port); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ch.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		ov := ch.Process(0).Ckpt.Overhead()
+		fmt.Printf("%-20s %14d %12d %14d %12d %10.0f\n",
+			sk, ov.BackupCycles, ov.BackupOps, ov.RecoveryCycles, ov.RecoveryOps,
+			port.Summarize().MeanRT)
+	}
+
+	fmt.Println("\nThe delta engine backs up only the cache lines that were actually")
+	fmt.Println("modified (Figure 15: ~25% of the lines in touched pages), and its")
+	fmt.Println("rollback is deferred — bitvector ORs now, line restores amortized")
+	fmt.Println("into the next request's execution. No page is ever copied.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: boot the INDRA platform, run a web-server-like service
+// through a stream of requests, and print what the simulation measured.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indra"
+)
+
+func main() {
+	// One call builds the synthetic httpd service, boots the asymmetric
+	// dual-core (resurrector + resurrectee), wires the delta checkpoint
+	// engine and serves the requests.
+	run, err := indra.RunService("httpd", indra.Options{Requests: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== %s on INDRA ===\n", run.Name)
+	for _, step := range run.Chip.Boot().Steps {
+		fmt.Println("boot:", step)
+	}
+
+	sum := run.Summary
+	fmt.Printf("\nserved %d/%d requests, mean response %.0f cycles\n",
+		sum.Served, sum.Total, sum.MeanRT)
+	fmt.Printf("executed %d instructions in %d cycles (CPI %.2f)\n",
+		run.Result.Instret, run.Result.Cycles,
+		float64(run.Result.Cycles)/float64(run.Result.Instret))
+
+	core := run.Chip.Core(0)
+	fmt.Printf("IL1 miss rate: %.2f%%\n", core.Hierarchy().L1I().Stats().MissRate()*100)
+	fmt.Printf("monitor records verified: %v\n", indra.MonitorRecordMix(run))
+	fmt.Printf("violations: %d (legitimate traffic never trips the behaviour checks)\n",
+		len(run.Violations()))
+}

@@ -1,0 +1,79 @@
+// Selfhealing: the paper's headline demo. A vulnerable service is hit
+// by live exploits — a stack smash, injected shellcode, a function
+// pointer hijack, and DoS crash/hang payloads — between legitimate
+// requests. The resurrector detects each one, rolls the service back
+// by exactly one request, and the legitimate clients never notice.
+//
+//	go run ./examples/selfhealing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indra"
+	"indra/internal/attack"
+	"indra/internal/chip"
+)
+
+func main() {
+	cfg := chip.DefaultConfig()
+	cfg.Recovery.InstrBudget = 2_000_000 // liveness check for the hang payload
+	// Hybrid recovery (Figure 8): the fptr hijack is a *dormant* attack —
+	// its corrupting store looks like a normal request, so micro rollback
+	// cannot undo it once committed. A slow-paced macro (application)
+	// checkpoint plus escalation after consecutive failures repairs it.
+	// With period 3, the macro checkpoint lands after the three opening
+	// legitimate requests — before the hijack poisons the dispatch
+	// table — so escalation restores a clean image. (A macro checkpoint
+	// taken *after* a dormant corruption would capture it; the paper
+	// makes the same healthy-state assumption in Section 3.3.2.)
+	cfg.Recovery.MacroPeriod = 3
+	cfg.Recovery.ConsecutiveFailLimit = 1
+
+	run, err := indra.RunService("httpd", indra.Options{
+		Chip:     &cfg,
+		Requests: 6,
+		Attacks: []attack.Kind{
+			attack.StackSmash,
+			attack.InjectCode,
+			attack.FptrHijack,
+			attack.DoSCrash,
+			attack.DoSHang,
+		},
+		AttackAfter: 3, // exploits arrive amid legitimate traffic
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== request log ===")
+	for _, r := range run.Port.Records() {
+		status := "✓"
+		if r.Outcome.String() != "served" {
+			status = "✗"
+		}
+		fmt.Printf("%s #%-2d %-13s -> %s\n", status, r.ID, r.Label, r.Outcome)
+	}
+
+	fmt.Println("\n=== resurrector detections ===")
+	for _, v := range run.Violations() {
+		fmt.Printf("%-20s at pc=%08x target=%08x\n", v.Kind, v.Rec.PC, v.Rec.Target)
+	}
+
+	rec := run.Recovery()
+	fmt.Printf("\nrecoveries: %d micro, %d macro, %d liveness kills\n",
+		rec.MicroRecoveries, rec.MacroRecoveries, rec.BudgetKills)
+
+	legitServed, legitTotal := 0, 0
+	for _, r := range run.Port.Records() {
+		if r.Label == "legit" {
+			legitTotal++
+			if r.Outcome.String() == "served" {
+				legitServed++
+			}
+		}
+	}
+	fmt.Printf("\nlegitimate requests served: %d/%d — the service revived after every exploit\n",
+		legitServed, legitTotal)
+}

@@ -1,0 +1,3 @@
+module indra
+
+go 1.22

@@ -1,0 +1,808 @@
+// Package asm implements a two-pass assembler for SRV32.
+//
+// Besides producing a loadable image, the assembler records the metadata
+// the INDRA resurrector needs for control-transfer inspection (Section
+// 3.2.3 of the paper): the set of function entry points (valid direct
+// call targets) and the export list (valid computed/indirect call
+// targets), analogous to the compiler-produced symbol table and library
+// export/import lists the paper relies on.
+//
+// Syntax summary:
+//
+//	.text / .data            section switch
+//	label:                   define label at current location
+//	.func name               declare name as a function entry point
+//	.export name             declare name as a valid indirect-call target
+//	.word v, v, ...          32-bit data (ints or label refs)
+//	.byte v, v, ...          8-bit data
+//	.space n                 n zero bytes
+//	.align n                 align to n bytes
+//	.asciiz "s"              NUL-terminated string
+//
+// Pseudo-instructions: li, la, mv, call, callr, j, jr, ret, push, pop,
+// inc, dec, not, neg, beqz, bnez.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"indra/internal/isa"
+)
+
+// Default load addresses. Code is kept well away from page zero so that
+// null-pointer style corruption faults rather than silently executing.
+const (
+	DefaultTextBase = 0x0001_0000
+	DefaultDataBase = 0x0008_0000
+)
+
+// Program is an assembled SRV32 image plus the symbol metadata consumed
+// by the monitor's control-transfer policy.
+type Program struct {
+	Text     []byte
+	Data     []byte
+	TextBase uint32
+	DataBase uint32
+	Entry    uint32 // address of the entry symbol ("_start" or first text label)
+
+	// Symbols maps every label to its resolved address.
+	Symbols map[string]uint32
+	// Funcs is the set of addresses that are legitimate direct-call targets.
+	Funcs map[uint32]string
+	// Exports is the set of addresses that are legitimate computed or
+	// indirect call targets (the export/import list of Section 3.2.3).
+	Exports map[uint32]string
+}
+
+// TextEnd returns the first address past the text section.
+func (p *Program) TextEnd() uint32 { return p.TextBase + uint32(len(p.Text)) }
+
+// DataEnd returns the first address past the data section.
+func (p *Program) DataEnd() uint32 { return p.DataBase + uint32(len(p.Data)) }
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type fixup struct {
+	section section
+	offset  uint32 // byte offset within section
+	label   string
+	kind    fixKind
+	line    int
+	pc      uint32 // address of the instruction (for pc-relative)
+}
+
+type fixKind int
+
+const (
+	fixWord   fixKind = iota // 32-bit absolute in data
+	fixBranch                // 16-bit pc-relative byte offset
+	fixJal                   // 20-bit pc-relative byte offset
+	fixLuiHi                 // upper 20 bits of absolute address
+	fixAddiLo                // lower 12 bits of absolute address
+)
+
+type assembler struct {
+	text    []byte
+	data    []byte
+	base    [2]uint32
+	symbols map[string]uint32 // resolved addresses
+	funcs   []string
+	exports []string
+	fixups  []fixup
+	sec     section
+	line    int
+}
+
+// Assemble assembles SRV32 source into a Program using the default
+// text/data load addresses.
+func Assemble(src string) (*Program, error) {
+	return AssembleAt(src, DefaultTextBase, DefaultDataBase)
+}
+
+// AssembleAt assembles with explicit section base addresses.
+func AssembleAt(src string, textBase, dataBase uint32) (*Program, error) {
+	a := &assembler{
+		base:    [2]uint32{textBase, dataBase},
+		symbols: make(map[string]uint32),
+	}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Text:     a.text,
+		Data:     a.data,
+		TextBase: textBase,
+		DataBase: dataBase,
+		Symbols:  a.symbols,
+		Funcs:    make(map[uint32]string),
+		Exports:  make(map[uint32]string),
+	}
+	for _, f := range a.funcs {
+		addr, ok := a.symbols[f]
+		if !ok {
+			return nil, &Error{0, fmt.Sprintf(".func %s: undefined label", f)}
+		}
+		p.Funcs[addr] = f
+	}
+	for _, f := range a.exports {
+		addr, ok := a.symbols[f]
+		if !ok {
+			return nil, &Error{0, fmt.Sprintf(".export %s: undefined label", f)}
+		}
+		p.Exports[addr] = f
+	}
+	if e, ok := a.symbols["_start"]; ok {
+		p.Entry = e
+	} else {
+		p.Entry = textBase
+	}
+	return p, nil
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{a.line, fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) here() uint32 {
+	if a.sec == secText {
+		return a.base[secText] + uint32(len(a.text))
+	}
+	return a.base[secData] + uint32(len(a.data))
+}
+
+func (a *assembler) run(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly several on a line, possibly followed by an op.
+		for {
+			idx := strings.IndexByte(line, ':')
+			if idx < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:idx])
+			if !validIdent(label) {
+				return a.errf("invalid label %q", label)
+			}
+			if _, dup := a.symbols[label]; dup {
+				return a.errf("duplicate label %q", label)
+			}
+			a.symbols[label] = a.here()
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.instruction(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.' || r == '$':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(line string) error {
+	name, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".func":
+		if !validIdent(rest) {
+			return a.errf(".func: invalid name %q", rest)
+		}
+		a.funcs = append(a.funcs, rest)
+	case ".export":
+		if !validIdent(rest) {
+			return a.errf(".export: invalid name %q", rest)
+		}
+		a.exports = append(a.exports, rest)
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			if v, err := parseInt(f); err == nil {
+				a.emit32(uint32(v))
+			} else if validIdent(f) {
+				a.fixups = append(a.fixups, fixup{a.sec, a.secLen(), f, fixWord, a.line, 0})
+				a.emit32(0)
+			} else {
+				return a.errf(".word: bad operand %q", f)
+			}
+		}
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return a.errf(".byte: bad operand %q", f)
+			}
+			a.emit8(uint8(v))
+		}
+	case ".space":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			return a.errf(".space: bad size %q", rest)
+		}
+		for i := int64(0); i < n; i++ {
+			a.emit8(0)
+		}
+	case ".align":
+		n, err := parseInt(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return a.errf(".align: bad alignment %q", rest)
+		}
+		for a.here()%uint32(n) != 0 {
+			a.emit8(0)
+		}
+	case ".asciiz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(".asciiz: bad string %s", rest)
+		}
+		for i := 0; i < len(s); i++ {
+			a.emit8(s[i])
+		}
+		a.emit8(0)
+	default:
+		return a.errf("unknown directive %q", name)
+	}
+	return nil
+}
+
+func (a *assembler) secLen() uint32 {
+	if a.sec == secText {
+		return uint32(len(a.text))
+	}
+	return uint32(len(a.data))
+}
+
+func (a *assembler) emit8(b byte) {
+	if a.sec == secText {
+		a.text = append(a.text, b)
+	} else {
+		a.data = append(a.data, b)
+	}
+}
+
+func (a *assembler) emit32(w uint32) {
+	a.emit8(byte(w))
+	a.emit8(byte(w >> 8))
+	a.emit8(byte(w >> 16))
+	a.emit8(byte(w >> 24))
+}
+
+// emitInst appends an encoded instruction to the text section. Callers
+// have already verified the current section is .text.
+func (a *assembler) emitInst(in isa.Inst) {
+	a.emit32(isa.Encode(in))
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 33)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(v)
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+var regNames = map[string]uint8{
+	"gp": isa.RGP, "sp": isa.RSP, "lr": isa.RLR, "zero": isa.R0,
+}
+
+func parseReg(s string) (uint8, bool) {
+	if r, ok := regNames[s]; ok {
+		return r, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+// parseMem parses "imm(reg)" operands for loads and stores.
+func parseMem(s string) (imm int64, reg uint8, ok bool) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, false
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	v, err := parseInt(immStr)
+	if err != nil {
+		return 0, 0, false
+	}
+	r, rok := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if !rok {
+		return 0, 0, false
+	}
+	return v, r, true
+}
+
+var rOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "or": isa.OpOr,
+	"xor": isa.OpXor, "sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"slt": isa.OpSlt, "sltu": isa.OpSltu, "mul": isa.OpMul, "div": isa.OpDiv,
+	"rem": isa.OpRem,
+}
+
+var iOps = map[string]isa.Op{
+	"addi": isa.OpAddi, "andi": isa.OpAndi, "ori": isa.OpOri,
+	"xori": isa.OpXori, "slli": isa.OpSlli, "srli": isa.OpSrli,
+	"srai": isa.OpSrai,
+}
+
+var loadOps = map[string]isa.Op{"lw": isa.OpLw, "lb": isa.OpLb, "lbu": isa.OpLbu}
+var storeOps = map[string]isa.Op{"sw": isa.OpSw, "sb": isa.OpSb}
+var branchOps = map[string]isa.Op{
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt,
+	"bge": isa.OpBge, "bltu": isa.OpBltu, "bgeu": isa.OpBgeu,
+}
+
+func (a *assembler) instruction(line string) error {
+	if a.sec != secText {
+		return a.errf("instruction outside .text")
+	}
+	mn, rest, _ := strings.Cut(line, " ")
+	mn = strings.ToLower(mn)
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	reg := func(i int) (uint8, error) {
+		if i >= len(ops) {
+			return 0, a.errf("%s: missing operand %d", mn, i+1)
+		}
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, a.errf("%s: bad register %q", mn, ops[i])
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, a.errf("%s: missing operand %d", mn, i+1)
+		}
+		v, err := parseInt(ops[i])
+		if err != nil {
+			return 0, a.errf("%s: bad immediate %q", mn, ops[i])
+		}
+		return v, nil
+	}
+
+	switch {
+	case mn == "nop":
+		a.emitInst(isa.Inst{Op: isa.OpNop})
+	case mn == "halt":
+		a.emitInst(isa.Inst{Op: isa.OpHalt})
+	case mn == "ret":
+		a.emitInst(isa.Inst{Op: isa.OpJalr, Rd: isa.R0, Rs1: isa.RLR})
+	case rOps[mn] != 0:
+		op := rOps[mn]
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(2)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case iOps[mn] != 0:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		if v < -32768 || v > 32767 {
+			return a.errf("%s: immediate %d out of range", mn, v)
+		}
+		a.emitInst(isa.Inst{Op: iOps[mn], Rd: rd, Rs1: rs1, Imm: int32(v)})
+	case loadOps[mn] != 0:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return a.errf("%s: missing address operand", mn)
+		}
+		off, base, ok := parseMem(ops[1])
+		if !ok {
+			return a.errf("%s: bad address %q", mn, ops[1])
+		}
+		a.emitInst(isa.Inst{Op: loadOps[mn], Rd: rd, Rs1: base, Imm: int32(off)})
+	case storeOps[mn] != 0:
+		rs2, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return a.errf("%s: missing address operand", mn)
+		}
+		off, base, ok := parseMem(ops[1])
+		if !ok {
+			return a.errf("%s: bad address %q", mn, ops[1])
+		}
+		a.emitInst(isa.Inst{Op: storeOps[mn], Rs1: base, Rs2: rs2, Imm: int32(off)})
+	case branchOps[mn] != 0:
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 3 || !validIdent(ops[2]) {
+			return a.errf("%s: branch target must be a label", mn)
+		}
+		a.fixups = append(a.fixups, fixup{secText, uint32(len(a.text)), ops[2], fixBranch, a.line, a.here()})
+		a.emitInst(isa.Inst{Op: branchOps[mn], Rs1: rs1, Rs2: rs2})
+	case mn == "beqz" || mn == "bnez":
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 || !validIdent(ops[1]) {
+			return a.errf("%s: branch target must be a label", mn)
+		}
+		op := isa.OpBeq
+		if mn == "bnez" {
+			op = isa.OpBne
+		}
+		a.fixups = append(a.fixups, fixup{secText, uint32(len(a.text)), ops[1], fixBranch, a.line, a.here()})
+		a.emitInst(isa.Inst{Op: op, Rs1: rs1, Rs2: isa.R0})
+	case mn == "jal" || mn == "call" || mn == "j":
+		rd := uint8(isa.RLR)
+		target := ""
+		switch mn {
+		case "jal":
+			r, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rd = r
+			if len(ops) < 2 {
+				return a.errf("jal: missing target")
+			}
+			target = ops[1]
+		case "call":
+			if len(ops) < 1 {
+				return a.errf("call: missing target")
+			}
+			target = ops[0]
+		case "j":
+			rd = isa.R0
+			if len(ops) < 1 {
+				return a.errf("j: missing target")
+			}
+			target = ops[0]
+		}
+		if !validIdent(target) {
+			return a.errf("%s: target must be a label", mn)
+		}
+		a.fixups = append(a.fixups, fixup{secText, uint32(len(a.text)), target, fixJal, a.line, a.here()})
+		a.emitInst(isa.Inst{Op: isa.OpJal, Rd: rd})
+	case mn == "jalr":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		var off int64
+		if len(ops) > 2 {
+			off, err = imm(2)
+			if err != nil {
+				return err
+			}
+		}
+		a.emitInst(isa.Inst{Op: isa.OpJalr, Rd: rd, Rs1: rs1, Imm: int32(off)})
+	case mn == "callr":
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpJalr, Rd: isa.RLR, Rs1: rs1})
+	case mn == "jr":
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpJalr, Rd: isa.R0, Rs1: rs1})
+	case mn == "sys":
+		v, err := imm(0)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpSys, Imm: int32(v)})
+	case mn == "li":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		a.emitLI(rd, uint32(v))
+	case mn == "la":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 || !validIdent(ops[1]) {
+			return a.errf("la: operand must be a label")
+		}
+		a.fixups = append(a.fixups, fixup{secText, uint32(len(a.text)), ops[1], fixLuiHi, a.line, a.here()})
+		a.emitInst(isa.Inst{Op: isa.OpLui, Rd: rd})
+		a.fixups = append(a.fixups, fixup{secText, uint32(len(a.text)), ops[1], fixAddiLo, a.line, 0})
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rd})
+	case mn == "mv":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs})
+	case mn == "not":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpXori, Rd: rd, Rs1: rs, Imm: -1})
+	case mn == "neg":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpSub, Rd: rd, Rs1: isa.R0, Rs2: rs})
+	case mn == "inc":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rd, Imm: 1})
+	case mn == "dec":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rd, Imm: -1})
+	case mn == "push":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: isa.RSP, Rs1: isa.RSP, Imm: -4})
+		a.emitInst(isa.Inst{Op: isa.OpSw, Rs1: isa.RSP, Rs2: rs, Imm: 0})
+	case mn == "pop":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpLw, Rd: rd, Rs1: isa.RSP, Imm: 0})
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: isa.RSP, Rs1: isa.RSP, Imm: 4})
+	default:
+		return a.errf("unknown mnemonic %q", mn)
+	}
+	return nil
+}
+
+// emitLI materializes a 32-bit constant in rd using LUI+ADDI (or a single
+// ADDI when the value fits in a signed 16-bit immediate).
+func (a *assembler) emitLI(rd uint8, v uint32) {
+	if int32(v) >= -32768 && int32(v) <= 32767 {
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: isa.R0, Imm: int32(v)})
+		return
+	}
+	hi, lo := splitHiLo(v)
+	a.emitInst(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: int32(hi)})
+	if lo != 0 {
+		a.emitInst(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rd, Imm: lo})
+	} else {
+		a.emitInst(isa.Inst{Op: isa.OpNop})
+	}
+}
+
+// splitHiLo splits v into a 20-bit upper part and a signed 12-bit lower
+// part such that (hi<<12)+lo == v, matching the LUI+ADDI idiom.
+func splitHiLo(v uint32) (hi uint32, lo int32) {
+	lo = int32(v<<20) >> 20 // sign-extended low 12 bits
+	hi = (v - uint32(lo)) >> 12
+	return hi & 0xFFFFF, lo
+}
+
+func (a *assembler) resolve() error {
+	for _, f := range a.fixups {
+		addr, ok := a.symbols[f.label]
+		if !ok {
+			return &Error{f.line, fmt.Sprintf("undefined label %q", f.label)}
+		}
+		buf := a.text
+		if f.section == secData {
+			buf = a.data
+		}
+		w := uint32(buf[f.offset]) | uint32(buf[f.offset+1])<<8 |
+			uint32(buf[f.offset+2])<<16 | uint32(buf[f.offset+3])<<24
+		switch f.kind {
+		case fixWord:
+			w = addr
+		case fixBranch:
+			off := int64(addr) - int64(f.pc)
+			if off < -32768 || off > 32767 {
+				return &Error{f.line, fmt.Sprintf("branch to %q out of range (%d bytes)", f.label, off)}
+			}
+			w = (w &^ 0xFFFF) | uint32(uint16(int16(off)))
+		case fixJal:
+			off := int64(addr) - int64(f.pc)
+			if off < -(1<<19) || off >= 1<<19 {
+				return &Error{f.line, fmt.Sprintf("jal to %q out of range (%d bytes)", f.label, off)}
+			}
+			w = (w &^ 0xFFFFF) | (uint32(off) & 0xFFFFF)
+		case fixLuiHi:
+			hi, _ := splitHiLo(addr)
+			w = (w &^ 0xFFFFF) | hi
+		case fixAddiLo:
+			_, lo := splitHiLo(addr)
+			w = (w &^ 0xFFFF) | uint32(uint16(int16(lo)))
+		}
+		buf[f.offset] = byte(w)
+		buf[f.offset+1] = byte(w >> 8)
+		buf[f.offset+2] = byte(w >> 16)
+		buf[f.offset+3] = byte(w >> 24)
+	}
+	return nil
+}
+
+// Disassemble renders the text section as assembly, one instruction per
+// line, annotated with addresses and known symbol names.
+func Disassemble(p *Program) string {
+	names := make(map[uint32]string)
+	for n, addr := range p.Symbols {
+		if addr >= p.TextBase && addr < p.TextEnd() {
+			if old, ok := names[addr]; !ok || n < old {
+				names[addr] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	for off := 0; off+4 <= len(p.Text); off += 4 {
+		addr := p.TextBase + uint32(off)
+		if n, ok := names[addr]; ok {
+			fmt.Fprintf(&sb, "%s:\n", n)
+		}
+		w := uint32(p.Text[off]) | uint32(p.Text[off+1])<<8 |
+			uint32(p.Text[off+2])<<16 | uint32(p.Text[off+3])<<24
+		fmt.Fprintf(&sb, "  %08x:  %08x  %s\n", addr, w, isa.Disasm(isa.Decode(w)))
+	}
+	return sb.String()
+}
+
+// SymbolsByAddr returns symbol names sorted by address, for debug dumps.
+func SymbolsByAddr(p *Program) []string {
+	type sym struct {
+		name string
+		addr uint32
+	}
+	syms := make([]sym, 0, len(p.Symbols))
+	for n, a := range p.Symbols {
+		syms = append(syms, sym{n, a})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].addr != syms[j].addr {
+			return syms[i].addr < syms[j].addr
+		}
+		return syms[i].name < syms[j].name
+	})
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = fmt.Sprintf("%08x %s", s.addr, s.name)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"indra/internal/isa"
+)
+
+func TestAssembleAtCustomBases(t *testing.T) {
+	p, err := AssembleAt(`
+.data
+x: .word 7
+.text
+_start:
+  la r1, x
+  halt
+`, 0x40000, 0x90000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextBase != 0x40000 || p.DataBase != 0x90000 {
+		t.Fatal("bases")
+	}
+	if p.Symbols["x"] != 0x90000 {
+		t.Fatalf("data symbol %#x", p.Symbols["x"])
+	}
+	lui := decodeAt(t, p, 0x40000)
+	addi := decodeAt(t, p, 0x40004)
+	if uint32(lui.Imm)<<12+uint32(addi.Imm) != 0x90000 {
+		t.Fatal("la against custom base")
+	}
+}
+
+func TestMorePseudos(t *testing.T) {
+	p := mustAssemble(t, `
+_start:
+  not r1, r2
+  neg r3, r4
+  inc r5
+  dec r6
+  mv r7, r8
+  jalr r9, r10, 8
+  callr r11
+  jr r12
+  halt
+`)
+	ins := make([]isa.Inst, 9)
+	for i := range ins {
+		ins[i] = decodeAt(t, p, p.TextBase+uint32(4*i))
+	}
+	if ins[0].Op != isa.OpXori || ins[0].Imm != -1 {
+		t.Fatalf("not -> %v", isa.Disasm(ins[0]))
+	}
+	if ins[1].Op != isa.OpSub || ins[1].Rs1 != isa.R0 {
+		t.Fatalf("neg -> %v", isa.Disasm(ins[1]))
+	}
+	if ins[2].Op != isa.OpAddi || ins[2].Imm != 1 || ins[2].Rd != 5 || ins[2].Rs1 != 5 {
+		t.Fatalf("inc -> %v", isa.Disasm(ins[2]))
+	}
+	if ins[3].Imm != -1 {
+		t.Fatalf("dec -> %v", isa.Disasm(ins[3]))
+	}
+	if ins[4].Op != isa.OpAddi || ins[4].Rs1 != 8 || ins[4].Imm != 0 {
+		t.Fatalf("mv -> %v", isa.Disasm(ins[4]))
+	}
+	if ins[5].Op != isa.OpJalr || ins[5].Rd != 9 || ins[5].Imm != 8 {
+		t.Fatalf("jalr -> %v", isa.Disasm(ins[5]))
+	}
+	if ins[6].Op != isa.OpJalr || ins[6].Rd != isa.RLR || ins[6].Rs1 != 11 {
+		t.Fatalf("callr -> %v", isa.Disasm(ins[6]))
+	}
+	if ins[7].Op != isa.OpJalr || ins[7].Rd != isa.R0 || ins[7].Rs1 != 12 {
+		t.Fatalf("jr -> %v", isa.Disasm(ins[7]))
+	}
+}
+
+func TestBnezBeqz(t *testing.T) {
+	p := mustAssemble(t, `
+top:
+  beqz r1, top
+  bnez r2, top
+  halt
+`)
+	b1 := decodeAt(t, p, p.TextBase)
+	b2 := decodeAt(t, p, p.TextBase+4)
+	if b1.Op != isa.OpBeq || b1.Rs2 != isa.R0 || b1.Imm != 0 {
+		t.Fatalf("beqz -> %v", isa.Disasm(b1))
+	}
+	if b2.Op != isa.OpBne || b2.Imm != -4 {
+		t.Fatalf("bnez -> %v", isa.Disasm(b2))
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p := mustAssemble(t, `
+_start:
+  lw r1, (sp)
+  sw r2, -8(gp)
+  lb r3, 0x10(r4)
+  halt
+`)
+	l := decodeAt(t, p, p.TextBase)
+	if l.Imm != 0 || l.Rs1 != isa.RSP {
+		t.Fatalf("implicit-zero offset: %v", isa.Disasm(l))
+	}
+	s := decodeAt(t, p, p.TextBase+4)
+	if s.Imm != -8 || s.Rs1 != isa.RGP {
+		t.Fatalf("negative offset: %v", isa.Disasm(s))
+	}
+	b := decodeAt(t, p, p.TextBase+8)
+	if b.Imm != 0x10 {
+		t.Fatalf("hex offset: %v", isa.Disasm(b))
+	}
+}
+
+func TestMoreErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{".func 1bad\nok: halt\n", ".func: invalid name"},
+		{".export @x\nok: halt\n", ".export: invalid name"},
+		{".func ghost\n_start: halt\n", "undefined label"},
+		{".export ghost\n_start: halt\n", "undefined label"},
+		{".space -1\n", "bad size"},
+		{".asciiz notquoted\n", "bad string"},
+		{".byte zz\n", "bad operand"},
+		{".bogus 1\n", "unknown directive"},
+		{"jal r1\n", "missing target"},
+		{"call\n", "missing target"},
+		{"j\n", "missing target"},
+		{"li r1\n", "missing operand"},
+		{"la r1, 5\n", "operand must be a label"},
+		{"beq r1, r2, 5\n", "branch target must be a label"},
+		{"add r1, r99, r2\n", "bad register"},
+		{"1bad: halt\n", "invalid label"},
+		{"sys x\n", "bad immediate"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("assemble(%q): got %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestJalOutOfRange(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("_start:\n  call far\n")
+	for i := 0; i < (1<<19)/4; i++ {
+		sb.WriteString("  nop\n")
+	}
+	sb.WriteString("far:\n  ret\n")
+	_, err := Assemble(sb.String())
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected jal range error, got %v", err)
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	_, err := Assemble("\n\nbogus\n")
+	e, ok := err.(*Error)
+	if !ok || e.Line != 3 {
+		t.Fatalf("error %v", err)
+	}
+	if !strings.Contains(e.Error(), "line 3") {
+		t.Fatalf("message %q", e.Error())
+	}
+}
+
+func TestProgramEnds(t *testing.T) {
+	p := mustAssemble(t, ".data\nd: .word 1\n.text\n_start: halt\n")
+	if p.TextEnd() != p.TextBase+4 || p.DataEnd() != p.DataBase+4 {
+		t.Fatal("section end math")
+	}
+}
+
+func TestEntryDefaultsToTextBase(t *testing.T) {
+	p := mustAssemble(t, "foo:\n halt\n")
+	if p.Entry != p.TextBase {
+		t.Fatal("entry without _start")
+	}
+}

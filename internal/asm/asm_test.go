@@ -1,0 +1,257 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"indra/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAt(t *testing.T, p *Program, addr uint32) isa.Inst {
+	t.Helper()
+	off := addr - p.TextBase
+	w := uint32(p.Text[off]) | uint32(p.Text[off+1])<<8 |
+		uint32(p.Text[off+2])<<16 | uint32(p.Text[off+3])<<24
+	return isa.Decode(w)
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+_start:
+  li r1, 42
+  addi r2, r1, 1
+  halt
+`)
+	if p.Entry != p.Symbols["_start"] {
+		t.Fatalf("entry %x, want _start %x", p.Entry, p.Symbols["_start"])
+	}
+	in := decodeAt(t, p, p.TextBase)
+	if in.Op != isa.OpAddi || in.Imm != 42 || in.Rd != 1 {
+		t.Fatalf("li lowered to %v", isa.Disasm(in))
+	}
+}
+
+func TestLILargeConstant(t *testing.T) {
+	p := mustAssemble(t, "li r3, 0x12345678\nhalt\n")
+	lui := decodeAt(t, p, p.TextBase)
+	addi := decodeAt(t, p, p.TextBase+4)
+	if lui.Op != isa.OpLui {
+		t.Fatalf("expected lui, got %v", lui.Op)
+	}
+	got := uint32(lui.Imm)<<12 + uint32(addi.Imm)
+	if addi.Op == isa.OpNop {
+		got = uint32(lui.Imm) << 12
+	}
+	if got != 0x12345678 {
+		t.Fatalf("li materialized %#x", got)
+	}
+}
+
+// TestSplitHiLoQuick: (hi<<12)+signext(lo) == v for all v.
+func TestSplitHiLoQuick(t *testing.T) {
+	f := func(v uint32) bool {
+		hi, lo := splitHiLo(v)
+		return (hi<<12)+uint32(lo) == v && hi <= 0xFFFFF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchesAndLabels(t *testing.T) {
+	p := mustAssemble(t, `
+loop:
+  addi r1, r1, 1
+  bne r1, r2, loop
+  beqz r3, done
+  j loop
+done:
+  halt
+`)
+	bne := decodeAt(t, p, p.TextBase+4)
+	if bne.Op != isa.OpBne || bne.Imm != -4 {
+		t.Fatalf("bne encoded %v imm=%d", bne.Op, bne.Imm)
+	}
+	j := decodeAt(t, p, p.TextBase+12)
+	if j.Op != isa.OpJal || j.Rd != isa.R0 || j.Imm != -12 {
+		t.Fatalf("j encoded %v rd=%d imm=%d", j.Op, j.Rd, j.Imm)
+	}
+}
+
+func TestCallRetAndPseudos(t *testing.T) {
+	p := mustAssemble(t, `
+_start:
+  call f
+  halt
+.func f
+f:
+  push lr
+  pop lr
+  ret
+`)
+	call := decodeAt(t, p, p.TextBase)
+	if call.Op != isa.OpJal || call.Rd != isa.RLR {
+		t.Fatalf("call lowered to %v", isa.Disasm(call))
+	}
+	fAddr := p.Symbols["f"]
+	if _, ok := p.Funcs[fAddr]; !ok {
+		t.Fatal(".func f not recorded")
+	}
+	// push = addi sp,sp,-4 ; sw lr,0(sp)
+	push1 := decodeAt(t, p, fAddr)
+	push2 := decodeAt(t, p, fAddr+4)
+	if push1.Op != isa.OpAddi || push1.Imm != -4 || push2.Op != isa.OpSw {
+		t.Fatalf("push lowered to %v ; %v", isa.Disasm(push1), isa.Disasm(push2))
+	}
+	ret := decodeAt(t, p, fAddr+16)
+	if ret.Op != isa.OpJalr || ret.Rd != isa.R0 || ret.Rs1 != isa.RLR {
+		t.Fatalf("ret lowered to %v", isa.Disasm(ret))
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+v: .word 1, 2, badger
+s: .asciiz "hi"
+.align 8
+b: .byte 1, 2, 3
+sp1: .space 5
+.text
+badger:
+  halt
+`)
+	if len(p.Data) < 12+3+3+5 {
+		t.Fatalf("data too small: %d", len(p.Data))
+	}
+	// third word resolves to the badger label
+	off := p.Symbols["v"] - p.DataBase + 8
+	got := uint32(p.Data[off]) | uint32(p.Data[off+1])<<8 | uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24
+	if got != p.Symbols["badger"] {
+		t.Fatalf("label word = %#x, want %#x", got, p.Symbols["badger"])
+	}
+	if p.Symbols["b"]%8 != 0 {
+		t.Fatalf(".align 8 violated: %#x", p.Symbols["b"])
+	}
+	sOff := p.Symbols["s"] - p.DataBase
+	if string(p.Data[sOff:sOff+3]) != "hi\x00" {
+		t.Fatalf("asciiz content %q", p.Data[sOff:sOff+3])
+	}
+}
+
+func TestLA(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+x: .space 8
+.text
+_start:
+  la r5, x
+  halt
+`)
+	lui := decodeAt(t, p, p.TextBase)
+	addi := decodeAt(t, p, p.TextBase+4)
+	if lui.Op != isa.OpLui || addi.Op != isa.OpAddi {
+		t.Fatalf("la lowered to %v ; %v", lui.Op, addi.Op)
+	}
+	got := uint32(lui.Imm)<<12 + uint32(addi.Imm)
+	if got != p.Symbols["x"] {
+		t.Fatalf("la resolves %#x, want %#x", got, p.Symbols["x"])
+	}
+}
+
+func TestExports(t *testing.T) {
+	p := mustAssemble(t, `
+.export e
+e:
+  ret
+`)
+	if _, ok := p.Exports[p.Symbols["e"]]; !ok {
+		t.Fatal("export not recorded")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"bogus r1, r2\n", "unknown mnemonic"},
+		{"addi r1, r2, 99999\n", "out of range"},
+		{"l: halt\nl: halt\n", "duplicate label"},
+		{"beq r1, r2, nowhere\n", "undefined label"},
+		{".data\naddi r1, r1, 1\n", "outside .text"},
+		{".word @bad\n", "bad operand"},
+		{"lw r1, r2\n", "bad address"},
+		{"add r1, r2\n", "missing operand"},
+		{".align 3\n", "bad alignment"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("assemble(%q): expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("assemble(%q) error %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("start:\n")
+	for i := 0; i < 10000; i++ {
+		sb.WriteString("  nop\n")
+	}
+	sb.WriteString("  beq r1, r2, start\n")
+	_, err := Assemble(sb.String())
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected out-of-range branch error, got %v", err)
+	}
+}
+
+func TestDisassembleOutput(t *testing.T) {
+	p := mustAssemble(t, `
+_start:
+  addi r1, r0, 7
+f:
+  ret
+`)
+	out := Disassemble(p)
+	if !strings.Contains(out, "_start:") || !strings.Contains(out, "addi r1, r0, 7") {
+		t.Fatalf("disassembly missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "f:") {
+		t.Fatalf("disassembly missing inner label:\n%s", out)
+	}
+}
+
+func TestSymbolsByAddr(t *testing.T) {
+	p := mustAssemble(t, "a:\n nop\nb:\n halt\n")
+	syms := SymbolsByAddr(p)
+	if len(syms) != 2 || !strings.HasSuffix(syms[0], " a") || !strings.HasSuffix(syms[1], " b") {
+		t.Fatalf("symbols: %v", syms)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+# full line comment
+  // another
+_start:  halt  # trailing
+`)
+	if len(p.Text) != 4 {
+		t.Fatalf("expected a single instruction, got %d bytes", len(p.Text))
+	}
+}

@@ -1,0 +1,202 @@
+// Package attack crafts malicious requests against the synthetic
+// services, one per vulnerability class of the paper's threat model
+// (Section 2.1 and Table 2):
+//
+//   - Stack smash: an oversized inline length overflows the vulnerable
+//     handler's 64-byte stack buffer and overwrites the saved return
+//     address. Detected by function call/return inspection.
+//   - Injected code: the overwritten return address points into the
+//     request buffer, whose body carries real SRV32 machine code.
+//     Detected by code origin inspection at the IL1 fill.
+//   - Function pointer overwrite: an out-of-range config index writes a
+//     request-controlled word over a dispatch-table entry; the hijacked
+//     slot's next invocation jumps to an arbitrary address. Detected by
+//     control transfer inspection of the indirect call.
+//   - DoS crash / DoS hang: request-triggered service termination or
+//     livelock (the teardrop/OOB-data analogues of Section 2.1).
+//     Detected by the fault path and the resurrector's liveness check.
+//
+// Like real exploits, the payloads hardcode addresses taken from the
+// victim binary (the request buffer symbol, function entry points);
+// they are computed from the assembled program image.
+package attack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"indra/internal/asm"
+	"indra/internal/isa"
+	"indra/internal/netsim"
+	"indra/internal/workload"
+)
+
+// Kind names an attack class.
+type Kind string
+
+// Attack classes.
+const (
+	StackSmash  Kind = "stack-smash"
+	InjectCode  Kind = "inject-code"
+	FptrHijack  Kind = "fptr-hijack"
+	FptrTrigger Kind = "fptr-trigger"
+	DoSCrash    Kind = "dos-crash"
+	DoSHang     Kind = "dos-hang"
+)
+
+// Kinds lists the classes in presentation order. FptrTrigger is the
+// second stage of FptrHijack and not an independent class.
+func Kinds() []Kind {
+	return []Kind{StackSmash, InjectCode, FptrHijack, DoSCrash, DoSHang}
+}
+
+// symbol resolves a label address from the victim image.
+func symbol(prog *asm.Program, name string) (uint32, error) {
+	addr, ok := prog.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("attack: victim image lacks symbol %q", name)
+	}
+	return addr, nil
+}
+
+// base returns a minimal payload skeleton for a handler slot.
+func base(slot int, size int) []byte {
+	if size < workload.OffBody+4 {
+		size = workload.OffBody + 4
+	}
+	p := make([]byte, size)
+	p[workload.OffOpcode] = byte(slot)
+	p[workload.OffSeed] = 1
+	return p
+}
+
+// NewStackSmash overflows the vulnerable handler's buffer so the saved
+// return address becomes `target`. Pointing target at an existing
+// function keeps the fetch legal — the *return mismatch* is what the
+// shadow stack catches, isolating the call/return inspection.
+func NewStackSmash(prog *asm.Program) (netsim.Request, error) {
+	target, err := symbol(prog, "leaf_mix")
+	if err != nil {
+		return netsim.Request{}, err
+	}
+	p := base(workload.HVuln, workload.OffBody+workload.VulnOverflowLen)
+	binary.LittleEndian.PutUint16(p[workload.OffInlineLen:], uint16(workload.VulnOverflowLen))
+	for i := 0; i < workload.VulnSavedLROff; i++ {
+		p[workload.OffBody+i] = 0x41 // classic 'A' sled
+	}
+	binary.LittleEndian.PutUint32(p[workload.OffBody+workload.VulnSavedLROff:], target)
+	return netsim.Request{Payload: p, Label: string(StackSmash)}, nil
+}
+
+// NewInjectCode overflows the same buffer but redirects the return into
+// the request buffer itself, where the body carries executable SRV32
+// shellcode (a self-loop — the detection fires on the first fetch, so
+// the shellcode's behaviour is irrelevant).
+func NewInjectCode(prog *asm.Program) (netsim.Request, error) {
+	reqbuf, err := symbol(prog, "reqbuf")
+	if err != nil {
+		return netsim.Request{}, err
+	}
+	p := base(workload.HVuln, workload.OffBody+workload.VulnOverflowLen)
+	binary.LittleEndian.PutUint16(p[workload.OffInlineLen:], uint16(workload.VulnOverflowLen))
+
+	// Shellcode at body[0:]: addi r1,r1,1 ; jal r0, -4 (tight loop).
+	sled := []uint32{
+		isa.Encode(isa.Inst{Op: isa.OpAddi, Rd: isa.RV, Rs1: isa.RV, Imm: 1}),
+		isa.Encode(isa.Inst{Op: isa.OpJal, Rd: isa.R0, Imm: -4}),
+	}
+	for i, w := range sled {
+		binary.LittleEndian.PutUint32(p[workload.OffBody+4*i:], w)
+	}
+	// Return address: the shellcode's location inside the global
+	// request buffer (a data page — code origin violation on fetch).
+	binary.LittleEndian.PutUint32(p[workload.OffBody+workload.VulnSavedLROff:], reqbuf+workload.OffBody)
+	return netsim.Request{Payload: p, Label: string(InjectCode)}, nil
+}
+
+// FptrHijackSlot is the dispatch-table slot the hijack overwrites.
+const FptrHijackSlot = workload.HBasic2
+
+// NewFptrHijack abuses the config handler's unchecked index to
+// overwrite dispatch-table slot FptrHijackSlot with an arbitrary
+// address. The hijack itself is a silent corruption; NewFptrTrigger
+// detonates it.
+func NewFptrHijack(prog *asm.Program) (netsim.Request, error) {
+	p := base(workload.HConfig, workload.OffBody+16)
+	// config[idx] with idx past the array lands in the table:
+	// idx = ConfigSlots + slot.
+	p[workload.OffBody] = byte(workload.ConfigSlots + FptrHijackSlot)
+	// The planted "handler": an address that is neither a function
+	// entry nor exported (mid-function, attacker-style gadget address).
+	target, err := symbol(prog, "leaf_mix")
+	if err != nil {
+		return netsim.Request{}, err
+	}
+	binary.LittleEndian.PutUint32(p[workload.OffBody+4:], target+8)
+	return netsim.Request{Payload: p, Label: string(FptrHijack)}, nil
+}
+
+// NewFptrTrigger invokes the hijacked slot: the main loop's indirect
+// call now targets the planted address and control transfer inspection
+// fires.
+func NewFptrTrigger() netsim.Request {
+	p := base(FptrHijackSlot, workload.OffBody+64)
+	return netsim.Request{Payload: p, Label: string(FptrTrigger)}
+}
+
+// NewDoSCrash makes the DoS handler halt the service mid-request (the
+// "blue screen" class: remote input that kills the server).
+func NewDoSCrash() netsim.Request {
+	p := base(workload.HDoS, workload.OffBody+16)
+	binary.LittleEndian.PutUint32(p[workload.OffBody:], workload.MagicCrash)
+	return netsim.Request{Payload: p, Label: string(DoSCrash)}
+}
+
+// NewDoSHang makes the DoS handler spin forever; the resurrector's
+// liveness (instruction budget) check detects it.
+func NewDoSHang() netsim.Request {
+	p := base(workload.HDoS, workload.OffBody+16)
+	binary.LittleEndian.PutUint32(p[workload.OffBody:], workload.MagicHang)
+	return netsim.Request{Payload: p, Label: string(DoSHang)}
+}
+
+// NewDoSLateCrash makes the DoS handler perform a full request's work
+// and state modification before crashing: the rolled-back request has
+// realistic damage, which is what the rollback-rate experiments
+// (Figure 16, Table 3) exercise.
+func NewDoSLateCrash() netsim.Request {
+	p := base(workload.HDoS, workload.OffBody+16)
+	p[workload.OffSeed] = 11
+	binary.LittleEndian.PutUint32(p[workload.OffBody:], workload.MagicLateCrash)
+	return netsim.Request{Payload: p, Label: string(DoSCrash)}
+}
+
+// Sequence builds the request stream for one attack kind, including
+// any second-stage trigger.
+func Sequence(kind Kind, prog *asm.Program) ([]netsim.Request, error) {
+	switch kind {
+	case StackSmash:
+		r, err := NewStackSmash(prog)
+		if err != nil {
+			return nil, err
+		}
+		return []netsim.Request{r}, nil
+	case InjectCode:
+		r, err := NewInjectCode(prog)
+		if err != nil {
+			return nil, err
+		}
+		return []netsim.Request{r}, nil
+	case FptrHijack:
+		h, err := NewFptrHijack(prog)
+		if err != nil {
+			return nil, err
+		}
+		return []netsim.Request{h, NewFptrTrigger()}, nil
+	case DoSCrash:
+		return []netsim.Request{NewDoSCrash()}, nil
+	case DoSHang:
+		return []netsim.Request{NewDoSHang()}, nil
+	}
+	return nil, fmt.Errorf("attack: unknown kind %q", kind)
+}

@@ -1,0 +1,140 @@
+package attack
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"indra/internal/workload"
+)
+
+func TestStackSmashPayload(t *testing.T) {
+	p := workload.MustByName("httpd")
+	prog, err := p.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := NewStackSmash(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := rq.Payload
+	if pl[workload.OffOpcode] != workload.HVuln {
+		t.Fatal("wrong handler")
+	}
+	inline := binary.LittleEndian.Uint16(pl[workload.OffInlineLen:])
+	if int(inline) != workload.VulnOverflowLen {
+		t.Fatalf("inline length %d", inline)
+	}
+	target := binary.LittleEndian.Uint32(pl[workload.OffBody+workload.VulnSavedLROff:])
+	if target != prog.Symbols["leaf_mix"] {
+		t.Fatalf("planted return %#x", target)
+	}
+	if rq.Label != string(StackSmash) {
+		t.Fatal("label")
+	}
+}
+
+func TestInjectCodePayload(t *testing.T) {
+	p := workload.MustByName("bind")
+	prog, err := p.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := NewInjectCode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := rq.Payload
+	target := binary.LittleEndian.Uint32(pl[workload.OffBody+workload.VulnSavedLROff:])
+	want := prog.Symbols["reqbuf"] + workload.OffBody
+	if target != want {
+		t.Fatalf("return target %#x, want shellcode at %#x", target, want)
+	}
+	// The body's first word must decode to a real instruction (the
+	// shellcode is genuine SRV32 machine code).
+	if binary.LittleEndian.Uint32(pl[workload.OffBody:]) == 0 {
+		t.Fatal("shellcode missing")
+	}
+}
+
+func TestFptrHijackPayload(t *testing.T) {
+	p := workload.MustByName("nfs")
+	prog, err := p.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := NewFptrHijack(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := int(rq.Payload[workload.OffBody])
+	if idx < workload.ConfigSlots {
+		t.Fatalf("hijack index %d stays inside the config array", idx)
+	}
+	if idx-workload.ConfigSlots != FptrHijackSlot {
+		t.Fatalf("hijack slot %d", idx-workload.ConfigSlots)
+	}
+	trigger := NewFptrTrigger()
+	if int(trigger.Payload[workload.OffOpcode]) != FptrHijackSlot {
+		t.Fatal("trigger targets the wrong slot")
+	}
+}
+
+func TestDoSPayloads(t *testing.T) {
+	crash := NewDoSCrash()
+	if binary.LittleEndian.Uint32(crash.Payload[workload.OffBody:]) != workload.MagicCrash {
+		t.Fatal("crash magic")
+	}
+	hang := NewDoSHang()
+	if binary.LittleEndian.Uint32(hang.Payload[workload.OffBody:]) != workload.MagicHang {
+		t.Fatal("hang magic")
+	}
+	late := NewDoSLateCrash()
+	if binary.LittleEndian.Uint32(late.Payload[workload.OffBody:]) != workload.MagicLateCrash {
+		t.Fatal("late magic")
+	}
+	for _, rq := range []struct{ op byte }{
+		{crash.Payload[workload.OffOpcode]},
+		{hang.Payload[workload.OffOpcode]},
+		{late.Payload[workload.OffOpcode]},
+	} {
+		if rq.op != workload.HDoS {
+			t.Fatal("DoS payloads must target the DoS handler")
+		}
+	}
+}
+
+func TestSequence(t *testing.T) {
+	p := workload.MustByName("imap")
+	prog, err := p.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range Kinds() {
+		seq, err := Sequence(kind, prog)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(seq) == 0 {
+			t.Fatalf("%s: empty sequence", kind)
+		}
+		if kind == FptrHijack && len(seq) != 2 {
+			t.Fatal("hijack needs its trigger stage")
+		}
+	}
+	if _, err := Sequence(Kind("nope"), prog); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMissingSymbol(t *testing.T) {
+	p := workload.MustByName("ftpd")
+	prog, err := p.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(prog.Symbols, "reqbuf")
+	if _, err := NewInjectCode(prog); err == nil {
+		t.Fatal("missing symbol accepted")
+	}
+}

@@ -1,0 +1,227 @@
+// Package cache provides set-associative cache timing models and the
+// composed L1I/L1D/L2 hierarchy used by each simulated core (Table 4 of
+// the paper: 16 KB direct-mapped split L1s with 32 B lines, a 512 KB
+// 4-way unified write-back L2 with 64 B lines, 1-cycle L1 and 8-cycle
+// L2 latencies).
+//
+// The caches are tag-only: data always lives in the flat physical
+// memory, and the cache tracks presence and dirtiness purely to produce
+// latencies, miss streams and writeback traffic. The L1 instruction
+// cache's miss stream is architecturally significant in INDRA — every
+// IL1 fill is the code-origin inspection point (Section 3.2.2).
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes uint32
+	LineBytes uint32
+	Assoc     int  // 1 = direct-mapped
+	WriteBack bool // write-back/write-allocate when true, else write-through
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || c.LineBytes == 0:
+		return fmt.Errorf("cache %s: zero size or line", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: LineBytes must be a power of two, got %d", c.Name, c.LineBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache %s: Assoc must be positive, got %d", c.Name, c.Assoc)
+	case c.SizeBytes%(c.LineBytes*uint32(c.Assoc)) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * uint32(c.Assoc))
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d must be a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+	Fills      uint64
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp
+}
+
+// Cache is a single tag-array cache level. Not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint32
+	lineBits uint32
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache, panicking on invalid configuration (configs are
+// produced by code, not parsed from external input).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * uint32(cfg.Assoc))
+	sets := make([][]line, nSets)
+	backing := make([]line, int(nSets)*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	lineBits := uint32(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		lineBits++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  nSets - 1,
+		lineBits: lineBits,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters but keeps cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineAddr masks an address down to its line base.
+func (c *Cache) LineAddr(addr uint32) uint32 { return addr &^ (c.cfg.LineBytes - 1) }
+
+func (c *Cache) decompose(addr uint32) (set uint32, tag uint32) {
+	l := addr >> c.lineBits
+	return l & c.setMask, l >> popBits(c.setMask)
+}
+
+func popBits(mask uint32) uint32 {
+	n := uint32(0)
+	for ; mask != 0; mask >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Result describes the outcome of a cache access.
+type Result struct {
+	Hit           bool
+	Fill          bool   // a line was brought in
+	Writeback     bool   // a dirty victim was evicted
+	VictimAddr    uint32 // line base address of the evicted line (valid if Writeback)
+	FillLineAddr  uint32 // line base address brought in (valid if Fill)
+	EvictedValid  bool   // an existing (possibly clean) line was displaced
+	EvictededAddr uint32 // line base of the displaced line
+}
+
+// Access performs a read (write=false) or write (write=true) of the line
+// containing addr, updating tags, LRU and dirty state.
+func (c *Cache) Access(addr uint32, write bool) Result {
+	c.clock++
+	c.stats.Accesses++
+	set, tag := c.decompose(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.clock
+			if write {
+				if c.cfg.WriteBack {
+					ways[i].dirty = true
+				}
+			}
+			return Result{Hit: true}
+		}
+	}
+	// Miss: choose victim (invalid first, else LRU).
+	c.stats.Misses++
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	res := Result{Fill: true, FillLineAddr: c.LineAddr(addr)}
+	v := &ways[victim]
+	if v.valid {
+		res.EvictedValid = true
+		res.EvictededAddr = c.reconstruct(set, v.tag)
+		if v.dirty {
+			res.Writeback = true
+			res.VictimAddr = res.EvictededAddr
+			c.stats.Writebacks++
+		}
+	}
+	v.valid = true
+	v.tag = tag
+	v.dirty = write && c.cfg.WriteBack
+	v.lru = c.clock
+	c.stats.Fills++
+	return res
+}
+
+// reconstruct rebuilds a line base address from set index and tag.
+func (c *Cache) reconstruct(set, tag uint32) uint32 {
+	return ((tag << popBits(c.setMask)) | set) << c.lineBits
+}
+
+// Contains reports whether the line holding addr is present (no state
+// change; for tests and introspection).
+func (c *Cache) Contains(addr uint32) bool {
+	set, tag := c.decompose(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll drops every line (e.g. pipeline flush on recovery,
+// Section 2.3.3). Dirty lines are discarded, not written back: recovery
+// explicitly reconstructs memory state through the checkpoint engine.
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+// Flush writes back all dirty lines, returning how many were dirty.
+func (c *Cache) Flush() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].dirty {
+				n++
+				c.sets[s][w].dirty = false
+				c.stats.Writebacks++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallDM() *Cache {
+	return New(Config{Name: "t", SizeBytes: 256, LineBytes: 32, Assoc: 1, WriteBack: true})
+}
+
+func TestDirectMappedHitMiss(t *testing.T) {
+	c := smallDM() // 8 sets of 32B
+	if r := c.Access(0, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(4, false); !r.Hit {
+		t.Fatal("same line missed")
+	}
+	// 256 bytes away maps to the same set: conflict eviction.
+	r := c.Access(256, false)
+	if r.Hit || !r.Fill || !r.EvictedValid || r.EvictededAddr != 0 {
+		t.Fatalf("conflict result %+v", r)
+	}
+	if c.Contains(0) {
+		t.Fatal("evicted line still present")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := smallDM()
+	c.Access(0, true) // dirty fill
+	r := c.Access(256, false)
+	if !r.Writeback || r.VictimAddr != 0 {
+		t.Fatalf("expected writeback of line 0, got %+v", r)
+	}
+	// Clean line: no writeback on eviction.
+	c.Access(512, false)
+	r = c.Access(768, false)
+	if r.Writeback {
+		t.Fatalf("clean eviction wrote back: %+v", r)
+	}
+}
+
+func TestWriteThroughNeverDirty(t *testing.T) {
+	c := New(Config{Name: "wt", SizeBytes: 256, LineBytes: 32, Assoc: 1})
+	c.Access(0, true)
+	r := c.Access(256, false)
+	if r.Writeback {
+		t.Fatal("write-through cache produced a writeback")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 2-way, 2 sets, 32B lines = 128 bytes.
+	c := New(Config{Name: "lru", SizeBytes: 128, LineBytes: 32, Assoc: 2, WriteBack: true})
+	// Set 0 holds lines 0 and 64 (stride = 64 with 2 sets).
+	c.Access(0, false)
+	c.Access(128, false)
+	c.Access(0, false)        // touch 0: 128 becomes LRU
+	r := c.Access(256, false) // evicts 128
+	if !r.EvictedValid || r.EvictededAddr != 128 {
+		t.Fatalf("LRU eviction chose %#x, want 128 (%+v)", r.EvictededAddr, r)
+	}
+	if !c.Contains(0) || c.Contains(128) || !c.Contains(256) {
+		t.Fatal("LRU contents wrong")
+	}
+}
+
+func TestFlushAndInvalidate(t *testing.T) {
+	c := smallDM()
+	c.Access(0, true)
+	c.Access(32, true)
+	c.Access(64, false)
+	if n := c.Flush(); n != 2 {
+		t.Fatalf("flush wrote %d lines, want 2", n)
+	}
+	if n := c.Flush(); n != 0 {
+		t.Fatalf("second flush wrote %d", n)
+	}
+	if !c.Contains(0) {
+		t.Fatal("flush should keep contents")
+	}
+	c.InvalidateAll()
+	if c.Contains(0) || c.Contains(32) || c.Contains(64) {
+		t.Fatal("invalidate left lines behind")
+	}
+}
+
+func TestStatsAndMissRate(t *testing.T) {
+	c := smallDM()
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(32, false)
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 || s.Fills != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if got := s.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate %f", got)
+	}
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("reset")
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("empty miss rate should be 0")
+	}
+}
+
+// Property: evicted line addresses always map to the same set as the
+// access that evicted them (reconstruct correctness).
+func TestEvictionSetInvariantQuick(t *testing.T) {
+	c := New(Config{Name: "q", SizeBytes: 1024, LineBytes: 32, Assoc: 2, WriteBack: true})
+	sets := uint32(1024 / (32 * 2))
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			a %= 1 << 20
+			r := c.Access(a, a%3 == 0)
+			if r.EvictedValid {
+				if (r.EvictededAddr/32)%sets != (a/32)%sets {
+					return false
+				}
+			}
+			if r.Hit == r.Fill {
+				return false // exactly one of hit/fill
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after accessing an address, Contains reports it until a
+// conflicting fill evicts it; re-access always hits immediately.
+func TestAccessThenHitQuick(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(Config{Name: "q2", SizeBytes: 512, LineBytes: 64, Assoc: 4, WriteBack: true})
+		for _, a := range addrs {
+			a %= 1 << 16
+			c.Access(a, false)
+			if !c.Contains(a) {
+				return false
+			}
+			if r := c.Access(a, false); !r.Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := smallDM()
+	if c.LineAddr(0x1234) != 0x1220 {
+		t.Fatalf("LineAddr = %#x", c.LineAddr(0x1234))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "a"},
+		{Name: "b", SizeBytes: 100, LineBytes: 32, Assoc: 1},
+		{Name: "c", SizeBytes: 256, LineBytes: 33, Assoc: 1},
+		{Name: "d", SizeBytes: 256, LineBytes: 32, Assoc: 0},
+		{Name: "e", SizeBytes: 96 * 32, LineBytes: 32, Assoc: 32}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}

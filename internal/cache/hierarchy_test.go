@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"testing"
+
+	"indra/internal/dram"
+)
+
+func testHierarchy() *Hierarchy {
+	return NewHierarchy(DefaultHierarchyConfig(), nil)
+}
+
+func TestFetchLatencies(t *testing.T) {
+	h := testHierarchy()
+	cfg := DefaultHierarchyConfig()
+
+	// Cold fetch: L1 miss, L2 miss, DRAM access.
+	ev := h.Fetch(0x1000)
+	if !ev.L1Miss || !ev.L2Miss {
+		t.Fatalf("cold fetch events %+v", ev)
+	}
+	if ev.Cycles <= cfg.L1Latency+cfg.L2Latency {
+		t.Fatalf("cold fetch too cheap: %d", ev.Cycles)
+	}
+	if ev.FillLine != 0x1000 {
+		t.Fatalf("fill line %#x", ev.FillLine)
+	}
+
+	// Warm fetch: L1 hit at exactly L1 latency.
+	ev = h.Fetch(0x1000)
+	if ev.L1Miss || ev.Cycles != cfg.L1Latency {
+		t.Fatalf("warm fetch %+v", ev)
+	}
+
+	// Adjacent line within the same 64B L2 line: L1 misses, L2 hits.
+	ev = h.Fetch(0x1020)
+	if !ev.L1Miss || ev.L2Miss {
+		t.Fatalf("L2-resident fetch %+v", ev)
+	}
+	if ev.Cycles != cfg.L1Latency+cfg.L2Latency {
+		t.Fatalf("L2 hit cost %d, want %d", ev.Cycles, cfg.L1Latency+cfg.L2Latency)
+	}
+}
+
+func TestLoadStoreSeparateFromFetch(t *testing.T) {
+	h := testHierarchy()
+	h.Fetch(0x2000)
+	// The same address through the D side still misses L1D (split caches)
+	// but hits the unified L2.
+	ev := h.Load(0x2000)
+	if !ev.L1Miss || ev.L2Miss {
+		t.Fatalf("load after fetch %+v", ev)
+	}
+	ev = h.Store(0x2000)
+	if ev.L1Miss {
+		t.Fatalf("store after load should hit L1D: %+v", ev)
+	}
+}
+
+func TestDirtyL1VictimReachesL2(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg, nil)
+	h.Store(0x0)
+	// Evict line 0 from the 16KB direct-mapped L1D with a conflicting
+	// line 16KB away.
+	h.Load(16 << 10)
+	// L2 should now hold both; the writeback was absorbed as an L2 write.
+	if h.L2().Stats().Accesses < 3 {
+		t.Fatalf("L2 accesses %d, expected writeback traffic", h.L2().Stats().Accesses)
+	}
+}
+
+func TestSharedDRAMModel(t *testing.T) {
+	d := dram.New(dram.DefaultConfig())
+	h1 := NewHierarchy(DefaultHierarchyConfig(), d)
+	h2 := NewHierarchy(DefaultHierarchyConfig(), d)
+	h1.Fetch(0)
+	h2.Fetch(0)
+	if d.Stats().Accesses != 2 {
+		t.Fatalf("shared DRAM saw %d accesses", d.Stats().Accesses)
+	}
+}
+
+func TestInvalidateAllHierarchy(t *testing.T) {
+	h := testHierarchy()
+	h.Fetch(0x3000)
+	h.Store(0x4000)
+	h.InvalidateAll()
+	if h.L1I().Contains(0x3000) || h.L1D().Contains(0x4000) || h.L2().Contains(0x3000) {
+		t.Fatal("invalidate left contents")
+	}
+}
+
+func TestMemCycles(t *testing.T) {
+	h := testHierarchy()
+	if h.MemCycles(0x5000, 32) == 0 {
+		t.Fatal("MemCycles returned zero")
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.L1I.LineBytes = 128 // larger than L2's 64
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("L1 line > L2 line should fail")
+	}
+	cfg = DefaultHierarchyConfig()
+	cfg.DRAMConfig.Banks = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad DRAM config should fail")
+	}
+}

@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"indra/internal/checkpoint"
+)
+
+// flatMemory mirrors the engine test helper.
+type flatMemory struct{ data []byte }
+
+func newFlatMemory(size int) *flatMemory { return &flatMemory{data: make([]byte, size)} }
+
+func (m *flatMemory) ReadLine(va uint32, buf []byte) { copy(buf, m.data[va:int(va)+len(buf)]) }
+func (m *flatMemory) WriteLine(va uint32, d []byte)  { copy(m.data[va:int(va)+len(d)], d) }
+
+func (m *flatMemory) write32(va, v uint32) {
+	m.data[va], m.data[va+1], m.data[va+2], m.data[va+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func (m *flatMemory) read32(va uint32) uint32 {
+	return uint32(m.data[va]) | uint32(m.data[va+1])<<8 | uint32(m.data[va+2])<<16 | uint32(m.data[va+3])<<24
+}
+
+func store(s checkpoint.Scheme, m *flatMemory, va, v uint32) {
+	s.PreStore(va)
+	m.write32(va, v)
+}
+
+func schemes(m checkpoint.Memory) []checkpoint.Scheme {
+	cfg := checkpoint.DefaultConfig()
+	return []checkpoint.Scheme{
+		NewSoftwarePageCopy(cfg, m, nil),
+		NewHardwareVirtualCopy(cfg, m, nil),
+		NewUpdateLog(cfg, m, nil),
+	}
+}
+
+// TestRoundTripRestore: for every baseline, writes after a commit are
+// undone by Fail and committed state survives.
+func TestRoundTripRestore(t *testing.T) {
+	for _, build := range []func(checkpoint.Memory) checkpoint.Scheme{
+		func(m checkpoint.Memory) checkpoint.Scheme {
+			return NewSoftwarePageCopy(checkpoint.DefaultConfig(), m, nil)
+		},
+		func(m checkpoint.Memory) checkpoint.Scheme {
+			return NewHardwareVirtualCopy(checkpoint.DefaultConfig(), m, nil)
+		},
+		func(m checkpoint.Memory) checkpoint.Scheme {
+			return NewUpdateLog(checkpoint.DefaultConfig(), m, nil)
+		},
+	} {
+		m := newFlatMemory(4 * 4096)
+		s := build(m)
+		store(s, m, 0, 1)
+		store(s, m, 4096, 2)
+		s.IncrementGTS()
+		store(s, m, 0, 100)
+		store(s, m, 8192, 300)
+		s.Fail()
+		if m.read32(0) != 1 || m.read32(4096) != 2 || m.read32(8192) != 0 {
+			t.Fatalf("%s: restore failed: %d %d %d", s.Name(),
+				m.read32(0), m.read32(4096), m.read32(8192))
+		}
+	}
+}
+
+// TestAllSchemesAgreeWithDelta drives an identical random workload
+// through every scheme (including the delta engine) and checks the
+// final memory images are byte-identical.
+func TestAllSchemesAgreeWithDelta(t *testing.T) {
+	const memSize = 8 * 4096
+	for seed := int64(0); seed < 8; seed++ {
+		var images [][]byte
+		names := []string{}
+		for variant := 0; variant < 4; variant++ {
+			m := newFlatMemory(memSize)
+			var s checkpoint.Scheme
+			cfg := checkpoint.DefaultConfig()
+			switch variant {
+			case 0:
+				e, err := checkpoint.NewEngine(cfg, m, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s = e
+			case 1:
+				s = NewSoftwarePageCopy(cfg, m, nil)
+			case 2:
+				s = NewHardwareVirtualCopy(cfg, m, nil)
+			case 3:
+				s = NewUpdateLog(cfg, m, nil)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for req := 0; req < 20; req++ {
+				s.IncrementGTS()
+				for i := 0; i < 50; i++ {
+					va := uint32(rng.Intn(memSize/4)) * 4
+					store(s, m, va, rng.Uint32())
+				}
+				if rng.Intn(3) == 0 {
+					s.Fail()
+					if e, ok := s.(*checkpoint.Engine); ok {
+						e.DrainRollbacks()
+					}
+				}
+			}
+			if e, ok := s.(*checkpoint.Engine); ok {
+				e.DrainRollbacks()
+			}
+			images = append(images, append([]byte(nil), m.data...))
+			names = append(names, s.Name())
+		}
+		for v := 1; v < len(images); v++ {
+			for i := range images[0] {
+				if images[v][i] != images[0][i] {
+					t.Fatalf("seed %d: %s diverges from %s at byte %#x",
+						seed, names[v], names[0], i)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateLogUndoOrder: overlapping writes must undo newest-first so
+// the oldest value wins.
+func TestUpdateLogUndoOrder(t *testing.T) {
+	m := newFlatMemory(4096)
+	u := NewUpdateLog(checkpoint.DefaultConfig(), m, nil)
+	m.write32(0, 7)
+	u.IncrementGTS()
+	store(u, m, 0, 8)
+	store(u, m, 0, 9)
+	store(u, m, 0, 10)
+	u.Fail()
+	if got := m.read32(0); got != 7 {
+		t.Fatalf("undo order: got %d, want 7", got)
+	}
+}
+
+// TestCostAsymmetry pins Table 3's qualitative claims: page-copy backup
+// dwarfs its recovery; update-log recovery dwarfs its backup per-op.
+func TestCostAsymmetry(t *testing.T) {
+	// DRAM-like: a fixed access latency plus transfer time, so undoing
+	// one logged word costs a full memory access while appending to the
+	// (cache-resident) log does not.
+	cost := func(n uint32) uint64 { return 100 + uint64(n)/8 }
+	m := newFlatMemory(4 * 4096)
+
+	pc := NewSoftwarePageCopy(checkpoint.DefaultConfig(), m, cost)
+	pc.IncrementGTS()
+	store(pc, m, 0, 1)
+	pc.Fail()
+	ov := pc.Overhead()
+	if ov.BackupCycles <= ov.RecoveryCycles {
+		t.Fatalf("page-copy: backup %d should dwarf recovery %d", ov.BackupCycles, ov.RecoveryCycles)
+	}
+	if ov.BackupCycles < 4096 { // at least a whole page of traffic + trap
+		t.Fatalf("page-copy backup too cheap: %d", ov.BackupCycles)
+	}
+
+	m2 := newFlatMemory(4 * 4096)
+	ul := NewUpdateLog(checkpoint.DefaultConfig(), m2, cost)
+	ul.IncrementGTS()
+	for i := 0; i < 100; i++ {
+		store(ul, m2, uint32(i*4), uint32(i))
+	}
+	ulOv := ul.Overhead()
+	backupPerOp := ulOv.BackupCycles / ulOv.BackupOps
+	ul.Fail()
+	ulOv = ul.Overhead()
+	recoveryPerOp := ulOv.RecoveryCycles / ulOv.RecoveryOps
+	if backupPerOp >= recoveryPerOp {
+		t.Fatalf("update-log: backup/op %d should be below recovery/op %d", backupPerOp, recoveryPerOp)
+	}
+}
+
+// TestPageCopyOncePerEra: only the first store per page per era copies.
+func TestPageCopyOncePerEra(t *testing.T) {
+	m := newFlatMemory(2 * 4096)
+	pc := NewSoftwarePageCopy(checkpoint.DefaultConfig(), m, nil)
+	pc.IncrementGTS()
+	pc.PreStore(0)
+	pc.PreStore(100)
+	pc.PreStore(4000)
+	if pc.Overhead().BackupOps != 1 {
+		t.Fatalf("copies %d, want 1", pc.Overhead().BackupOps)
+	}
+	pc.IncrementGTS()
+	pc.PreStore(8)
+	if pc.Overhead().BackupOps != 2 {
+		t.Fatalf("copies %d, want 2 after new era", pc.Overhead().BackupOps)
+	}
+}
+
+// TestHardwareVariantSkipsTrap: the HW scheme must be cheaper than the
+// software scheme by exactly the trap cost per page.
+func TestHardwareVariantSkipsTrap(t *testing.T) {
+	m := newFlatMemory(4096)
+	sw := NewSoftwarePageCopy(checkpoint.DefaultConfig(), m, nil)
+	hw := NewHardwareVirtualCopy(checkpoint.DefaultConfig(), m, nil)
+	sw.IncrementGTS()
+	hw.IncrementGTS()
+	cs := sw.PreStore(0)
+	ch := hw.PreStore(0)
+	if cs-ch != SoftwareTrapCycles {
+		t.Fatalf("trap delta %d, want %d", cs-ch, SoftwareTrapCycles)
+	}
+}
+
+func TestSchemeMetadata(t *testing.T) {
+	m := newFlatMemory(4096)
+	for _, s := range schemes(m) {
+		if s.Name() == "" || s.Granule() == 0 {
+			t.Fatalf("scheme metadata: %q %d", s.Name(), s.Granule())
+		}
+		if s.PreLoad(0) != 0 {
+			t.Fatalf("%s: PreLoad should be free", s.Name())
+		}
+	}
+}

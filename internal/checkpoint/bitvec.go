@@ -1,0 +1,61 @@
+package checkpoint
+
+import "math/bits"
+
+// BitVec is a fixed-capacity bitmap over the lines of one memory page.
+// With the default 4 KB pages and 32 B lines it spans 128 bits (two
+// words), matching the dirty and rollback bitvectors of the paper's
+// backup page record (Figure 3).
+type BitVec []uint64
+
+// NewBitVec returns a zeroed bitvector able to hold n bits.
+func NewBitVec(n int) BitVec { return make(BitVec, (n+63)/64) }
+
+// Set sets bit i.
+func (v BitVec) Set(i int) { v[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (v BitVec) Clear(i int) { v[i/64] &^= 1 << (uint(i) % 64) }
+
+// Test reports bit i.
+func (v BitVec) Test(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Reset zeroes the whole vector.
+func (v BitVec) Reset() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Or sets v |= o. The two vectors must be the same length.
+func (v BitVec) Or(o BitVec) {
+	for i := range v {
+		v[i] |= o[i]
+	}
+}
+
+// Any reports whether any bit is set.
+func (v BitVec) Any() bool {
+	for _, w := range v {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (v BitVec) Count() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (v BitVec) Clone() BitVec {
+	c := make(BitVec, len(v))
+	copy(c, v)
+	return c
+}

@@ -1,0 +1,101 @@
+package checkpoint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVecBasics(t *testing.T) {
+	v := NewBitVec(128)
+	if len(v) != 2 {
+		t.Fatalf("128-bit vector should be 2 words, got %d", len(v))
+	}
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(127)
+	for _, i := range []int{0, 63, 64, 127} {
+		if !v.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.Count() != 4 {
+		t.Fatalf("count %d", v.Count())
+	}
+	v.Clear(63)
+	if v.Test(63) || v.Count() != 3 {
+		t.Fatal("clear")
+	}
+	if !v.Any() {
+		t.Fatal("any")
+	}
+	v.Reset()
+	if v.Any() || v.Count() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestBitVecOrAndClone(t *testing.T) {
+	a := NewBitVec(128)
+	b := NewBitVec(128)
+	a.Set(3)
+	b.Set(70)
+	c := a.Clone()
+	a.Or(b)
+	if !a.Test(3) || !a.Test(70) {
+		t.Fatal("or")
+	}
+	if c.Test(70) {
+		t.Fatal("clone aliased")
+	}
+}
+
+// Property: BitVec matches a map[int]bool reference under random
+// set/clear/or sequences.
+func TestBitVecModelQuick(t *testing.T) {
+	const n = 128
+	f := func(ops []uint16) bool {
+		v := NewBitVec(n)
+		model := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			switch (op / uint16(n)) % 3 {
+			case 0:
+				v.Set(i)
+				model[i] = true
+			case 1:
+				v.Clear(i)
+				delete(model, i)
+			case 2:
+				if v.Test(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if v.Count() != len(model) {
+			return false
+		}
+		if v.Any() != (len(model) > 0) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if v.Test(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitVecSizes(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 256} {
+		v := NewBitVec(n)
+		v.Set(n - 1)
+		if !v.Test(n - 1) {
+			t.Fatalf("size %d: top bit", n)
+		}
+	}
+}

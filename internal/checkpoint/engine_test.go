@@ -1,0 +1,387 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// flatMemory is a simple checkpoint.Memory over a byte slice, with
+// virtual addresses interpreted as offsets.
+type flatMemory struct {
+	data []byte
+}
+
+func newFlatMemory(size int) *flatMemory { return &flatMemory{data: make([]byte, size)} }
+
+func (m *flatMemory) ReadLine(va uint32, buf []byte) {
+	copy(buf, m.data[va:int(va)+len(buf)])
+}
+
+func (m *flatMemory) WriteLine(va uint32, data []byte) {
+	copy(m.data[va:int(va)+len(data)], data)
+}
+
+// write32 mimics an application store (the caller invokes PreStore first).
+func (m *flatMemory) write32(va uint32, v uint32) {
+	m.data[va] = byte(v)
+	m.data[va+1] = byte(v >> 8)
+	m.data[va+2] = byte(v >> 16)
+	m.data[va+3] = byte(v >> 24)
+}
+
+func (m *flatMemory) read32(va uint32) uint32 {
+	return uint32(m.data[va]) | uint32(m.data[va+1])<<8 |
+		uint32(m.data[va+2])<<16 | uint32(m.data[va+3])<<24
+}
+
+func newTestEngine(t *testing.T, mem Memory) *Engine {
+	t.Helper()
+	e, err := NewEngine(DefaultConfig(), mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// store performs a tracked application store.
+func store(e *Engine, m *flatMemory, va, v uint32) {
+	e.PreStore(va)
+	m.write32(va, v)
+}
+
+// load performs a tracked application load.
+func load(e *Engine, m *flatMemory, va uint32) uint32 {
+	e.PreLoad(va)
+	return m.read32(va)
+}
+
+// TestFigure7Scenario replays the paper's worked example (Figure 7):
+// writes, a failure, lazy rollback on read, a second failure, and a
+// committed request — checking memory values and engine state at each
+// action.
+func TestFigure7Scenario(t *testing.T) {
+	m := newFlatMemory(2 * 4096)
+	e := newTestEngine(t, m)
+	const page = 4096 // "page p"
+	lineVA := func(l int) uint32 { return page + uint32(l*32) }
+
+	// Pre-history: give every line of page p a recognizable value and
+	// commit it (era of "LTS=3" in the figure; exact numbers differ but
+	// the committed-before-failure relationship is identical).
+	for l := 0; l < 8; l++ {
+		store(e, m, lineVA(l), uint32(100+l))
+	}
+	e.IncrementGTS() // committed: lines hold 100..107
+
+	// Action 2: write line 7.
+	store(e, m, lineVA(7), 777)
+	// Action 3: write line 2.
+	store(e, m, lineVA(2), 222)
+	// Action 4: write line 2 again (no new backup).
+	backupsBefore := e.Stats().LineBackups
+	store(e, m, lineVA(2), 223)
+	if e.Stats().LineBackups != backupsBefore {
+		t.Fatal("second write to a dirty line must not re-backup")
+	}
+
+	// Action 5: the request fails.
+	e.Fail()
+	if e.PendingRollbacks() != 2 {
+		t.Fatalf("pending rollbacks %d, want 2 (lines 2 and 7)", e.PendingRollbacks())
+	}
+
+	// Action 6: read line 7 — lazily restored to the committed value.
+	if got := load(e, m, lineVA(7)); got != 107 {
+		t.Fatalf("line 7 after rollback read = %d, want 107", got)
+	}
+	if e.PendingRollbacks() != 1 {
+		t.Fatalf("pending after one restore: %d", e.PendingRollbacks())
+	}
+
+	// Action 7: write line 1 (normal backup path in the same GTS era).
+	store(e, m, lineVA(1), 111)
+
+	// Action 8-9: this request also fails; damages of both requests must
+	// be covered (line 1 from now, line 2 still pending from before).
+	e.Fail()
+	if e.PendingRollbacks() != 2 {
+		t.Fatalf("pending after second failure: %d", e.PendingRollbacks())
+	}
+
+	// Actions 10-11: next request reads lines 1 and 2: both restored.
+	if got := load(e, m, lineVA(1)); got != 101 {
+		t.Fatalf("line 1 = %d, want 101", got)
+	}
+	if got := load(e, m, lineVA(2)); got != 102 {
+		t.Fatalf("line 2 = %d, want 102", got)
+	}
+	if e.PendingRollbacks() != 0 {
+		t.Fatal("rollbacks should be drained")
+	}
+
+	// Action 12: request OK; GTS increments; a new write re-backups.
+	e.IncrementGTS()
+	backupsBefore = e.Stats().LineBackups
+	store(e, m, lineVA(6), 666)
+	if e.Stats().LineBackups != backupsBefore+1 {
+		t.Fatal("new era write must backup")
+	}
+}
+
+// TestWriteToRollbackPendingLine covers Figure 4's rollback branch: a
+// store to a line with a pending rollback must land on the restored
+// committed bytes (sub-line store correctness) and keep the committed
+// value as the new era's pre-image.
+func TestWriteToRollbackPendingLine(t *testing.T) {
+	m := newFlatMemory(4096)
+	e := newTestEngine(t, m)
+
+	store(e, m, 0, 0xAAAAAAAA) // word 0 of line 0
+	store(e, m, 4, 0xBBBBBBBB) // word 1 of line 0
+	e.IncrementGTS()           // commit
+
+	store(e, m, 0, 0x11111111) // corrupt word 0
+	store(e, m, 4, 0x22222222) // corrupt word 1
+	e.Fail()                   // rollback pending on line 0
+
+	// New request writes only word 0 of the line: word 1 must come back
+	// as the committed value, not the corrupted one.
+	store(e, m, 0, 0x33333333)
+	if got := m.read32(4); got != 0xBBBBBBBB {
+		t.Fatalf("word 1 after sub-line store = %#x, want committed BB..", got)
+	}
+	if got := m.read32(0); got != 0x33333333 {
+		t.Fatalf("word 0 = %#x", got)
+	}
+
+	// If this request also fails, BOTH words must restore to committed.
+	e.Fail()
+	if got := load(e, m, 0); got != 0xAAAAAAAA {
+		t.Fatalf("word 0 after second failure = %#x", got)
+	}
+	if got := load(e, m, 4); got != 0xBBBBBBBB {
+		t.Fatalf("word 1 after second failure = %#x", got)
+	}
+}
+
+// TestLTSGuardProtectsCommittedState: a failure must not roll back
+// pages whose dirty bits date from an earlier, committed era.
+func TestLTSGuardProtectsCommittedState(t *testing.T) {
+	m := newFlatMemory(2 * 4096)
+	e := newTestEngine(t, m)
+
+	store(e, m, 0, 1) // page 0 dirtied in era 1
+	e.IncrementGTS()  // era 2: page 0's write is committed
+
+	store(e, m, 4096, 7) // only page 1 touched in era 2
+	e.Fail()
+
+	if got := load(e, m, 0); got != 1 {
+		t.Fatalf("committed page rolled back: %d", got)
+	}
+	if got := load(e, m, 4096); got != 0 {
+		t.Fatalf("failed era's write survived: %d", got)
+	}
+}
+
+func TestDrainRollbacksEager(t *testing.T) {
+	m := newFlatMemory(4096)
+	e := newTestEngine(t, m)
+	store(e, m, 0, 5)
+	store(e, m, 64, 6)
+	e.IncrementGTS()
+	store(e, m, 0, 50)
+	store(e, m, 64, 60)
+	e.Fail()
+	lines, _ := e.DrainRollbacks()
+	if lines != 2 {
+		t.Fatalf("drained %d lines", lines)
+	}
+	if m.read32(0) != 5 || m.read32(64) != 6 {
+		t.Fatal("eager drain restored wrong values")
+	}
+	if e.PendingRollbacks() != 0 {
+		t.Fatal("pending after drain")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	m := newFlatMemory(4096)
+	e, err := NewEngine(DefaultConfig(), m, func(n uint32) uint64 { return uint64(n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.IncrementGTS()
+	if c := e.PreStore(0); c != 32 {
+		t.Fatalf("backup cost %d, want 32 (line bytes)", c)
+	}
+	m.write32(0, 9)
+	if c := e.PreStore(4); c != 0 {
+		t.Fatalf("same-line store cost %d", c)
+	}
+	e.Fail()
+	if c := e.PreLoad(0); c != 32 {
+		t.Fatalf("restore cost %d", c)
+	}
+	ov := e.Overhead()
+	if ov.BackupOps != 1 || ov.RecoveryOps != 1 || ov.BackupCycles != 32 || ov.RecoveryCycles == 0 {
+		t.Fatalf("overhead %+v", ov)
+	}
+}
+
+func TestTrackedPagesAndDiscard(t *testing.T) {
+	m := newFlatMemory(8 * 4096)
+	e := newTestEngine(t, m)
+	for p := 0; p < 5; p++ {
+		store(e, m, uint32(p)*4096, 1)
+	}
+	if e.TrackedPages() != 5 {
+		t.Fatalf("tracked %d", e.TrackedPages())
+	}
+	e.Discard()
+	if e.TrackedPages() != 0 || e.PendingRollbacks() != 0 {
+		t.Fatal("discard")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PageBytes: 0, LineBytes: 32},
+		{PageBytes: 4096, LineBytes: 0},
+		{PageBytes: 4095, LineBytes: 32},
+		{PageBytes: 4096, LineBytes: 33},
+		{PageBytes: 32, LineBytes: 4096},
+	}
+	for i, c := range bad {
+		if _, err := NewEngine(c, newFlatMemory(4096), nil); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if DefaultConfig().LinesPerPage() != 128 {
+		t.Fatal("default lines per page")
+	}
+}
+
+// referenceModel is the oracle for the property test: it keeps a full
+// copy of memory at the last commit point and restores it wholesale on
+// failure.
+type referenceModel struct {
+	committed []byte
+}
+
+func (r *referenceModel) commit(m *flatMemory) {
+	r.committed = append(r.committed[:0], m.data...)
+}
+
+// TestEngineMatchesReferenceModel drives random request sequences —
+// random word writes, random interleaved reads, random success/failure
+// — against both the delta engine and the brute-force reference, then
+// compares the full memory image (after draining lazy rollbacks).
+func TestEngineMatchesReferenceModel(t *testing.T) {
+	const memSize = 8 * 4096
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := newFlatMemory(memSize)
+		e := newTestEngine(t, m)
+		ref := &referenceModel{}
+		ref.commit(m)
+
+		for req := 0; req < 30; req++ {
+			e.IncrementGTS()
+			ref.commit(m) // reference checkpoint at request start
+
+			nOps := rng.Intn(60)
+			for i := 0; i < nOps; i++ {
+				va := uint32(rng.Intn(memSize/4)) * 4
+				if rng.Intn(4) == 0 {
+					load(e, m, va)
+				} else {
+					store(e, m, va, rng.Uint32())
+				}
+			}
+
+			if rng.Intn(3) == 0 { // request fails
+				e.Fail()
+				// Drain lazily so the whole image is comparable.
+				e.DrainRollbacks()
+				for i := range m.data {
+					if m.data[i] != ref.committed[i] {
+						t.Fatalf("seed %d req %d: byte %#x = %#x, want %#x",
+							seed, req, i, m.data[i], ref.committed[i])
+					}
+				}
+				// Retry in the same era, as the recovery flow does:
+				// GTS must NOT advance after a failure, so undo the next
+				// iteration's increment by modelling it here.
+				// (The loop's IncrementGTS models the next request's
+				// checkpoint; after failure INDRA reuses the era, which
+				// is equivalent for state correctness since memory now
+				// equals the committed image.)
+			}
+		}
+	}
+}
+
+// TestEngineLazyEquivalence checks that lazily restored state (reads
+// pulling lines on demand across a subsequent request) converges to the
+// same image as an eager restore.
+func TestEngineLazyEquivalence(t *testing.T) {
+	const memSize = 4 * 4096
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		runOnce := func(eager bool) []byte {
+			m := newFlatMemory(memSize)
+			e := newTestEngine(t, m)
+			rng := rand.New(rand.NewSource(seed))
+			for req := 0; req < 10; req++ {
+				e.IncrementGTS()
+				for i := 0; i < 40; i++ {
+					va := uint32(rng.Intn(memSize/4)) * 4
+					store(e, m, va, rng.Uint32())
+				}
+				if req%2 == 1 {
+					e.Fail()
+					if eager {
+						e.DrainRollbacks()
+					}
+				}
+			}
+			e.DrainRollbacks()
+			return append([]byte(nil), m.data...)
+		}
+
+		lazy := runOnce(false)
+		eager := runOnce(true)
+		for i := range lazy {
+			if lazy[i] != eager[i] {
+				t.Fatalf("seed %d: lazy/eager diverge at %#x", seed, i)
+			}
+		}
+		_ = rng
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	m := newFlatMemory(4096)
+	e := newTestEngine(t, m)
+	store(e, m, 0, 1)
+	load(e, m, 0)
+	e.IncrementGTS()
+	s := e.Stats()
+	if s.StoresChecked != 1 || s.LoadsChecked != 1 || s.GTSIncrements != 1 || s.LineBackups != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	e.ResetStats()
+	if e.Stats().StoresChecked != 0 {
+		t.Fatal("reset stats")
+	}
+	if e.Name() != "indra-delta" || e.Granule() != 32 {
+		t.Fatal("scheme identity")
+	}
+	if e.GTS() == 0 {
+		t.Fatal("GTS should start above zero")
+	}
+	_ = fmt.Sprintf("%v", s)
+}

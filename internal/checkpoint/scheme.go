@@ -1,0 +1,52 @@
+package checkpoint
+
+// Scheme is the common surface of all memory state backup/recovery
+// mechanisms compared in Table 3 of the paper. The INDRA delta Engine
+// implements it, as do the baselines in the baseline subpackage, so the
+// experiment harness can swap schemes under identical workloads.
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// IncrementGTS begins a new checkpoint era (a new network request).
+	IncrementGTS()
+	// PreStore is invoked before each store; it returns modelled cycles.
+	PreStore(va uint32) uint64
+	// PreLoad is invoked before each load; it returns modelled cycles.
+	PreLoad(va uint32) uint64
+	// Fail rolls the current era back; it returns modelled cycles.
+	Fail() uint64
+	// Granule is the scheme's natural PreStore granularity in bytes;
+	// bulk copies (kernel payload delivery) invoke PreStore once per
+	// granule so every scheme observes the writes it needs.
+	Granule() uint32
+	// Overhead summarises modelled costs so far.
+	Overhead() Overhead
+}
+
+// Overhead aggregates a scheme's modelled costs, split so Table 3's
+// backup-vs-recovery asymmetry is visible.
+type Overhead struct {
+	BackupCycles   uint64 // paid during normal execution
+	RecoveryCycles uint64 // paid on and after failure
+	BackupOps      uint64 // granule copies (lines, pages or log entries)
+	RecoveryOps    uint64
+}
+
+var _ Scheme = (*Engine)(nil)
+
+// Name implements Scheme.
+func (e *Engine) Name() string { return "indra-delta" }
+
+// Granule implements Scheme: the engine backs up whole lines.
+func (e *Engine) Granule() uint32 { return e.cfg.LineBytes }
+
+// Overhead implements Scheme.
+func (e *Engine) Overhead() Overhead {
+	s := e.stats
+	return Overhead{
+		BackupCycles:   s.BackupCycles,
+		RecoveryCycles: s.RestoreCycles + s.RollbackCycles,
+		BackupOps:      s.LineBackups,
+		RecoveryOps:    s.LineRestores,
+	}
+}

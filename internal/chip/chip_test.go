@@ -1,0 +1,336 @@
+package chip
+
+import (
+	"strings"
+	"testing"
+
+	"indra/internal/attack"
+	"indra/internal/monitor"
+	"indra/internal/netsim"
+	"indra/internal/trace"
+	"indra/internal/workload"
+)
+
+func buildService(t *testing.T, name string) (workload.Params, *netsim.Port, *Chip) {
+	t.Helper()
+	params := workload.MustByName(name)
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort(params.GenRequests(3, 1))
+	if _, err := c.LaunchService(0, name, prog, port); err != nil {
+		t.Fatal(err)
+	}
+	return params, port, c
+}
+
+func TestBootSequenceAndInsulation(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := c.Boot()
+	joined := strings.Join(boot.Steps, "\n")
+	for _, want := range []string{"resurrector", "watchdog", "BIOS", "released"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("boot report missing %q:\n%s", want, joined)
+		}
+	}
+	wd := c.Watchdog()
+	// Resurrectee (core 1) cannot touch the resurrector's region.
+	if err := wd.Check(1, 0x1000, 0); err == nil {
+		t.Fatal("insulation breached")
+	}
+	// Resurrector sees everything.
+	if err := wd.Check(0, 0x1000, 1); err != nil {
+		t.Fatal("resurrector denied")
+	}
+	// Resurrectee confined to its partition.
+	cfg := DefaultConfig()
+	if err := wd.Check(1, cfg.ResurrectorMemBytes+4096, 1); err != nil {
+		t.Fatal("resurrectee denied its own region")
+	}
+}
+
+func TestRunServesRequests(t *testing.T) {
+	_, port, c := buildService(t, "bind")
+	res, err := c.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("run did not drain")
+	}
+	s := port.Summarize()
+	if s.Served != 3 || res.Violations != 0 {
+		t.Fatalf("summary %+v violations %d", s, res.Violations)
+	}
+	if res.Instret == 0 || res.Cycles == 0 {
+		t.Fatal("no accounting")
+	}
+}
+
+func TestInstrLimit(t *testing.T) {
+	_, _, c := buildService(t, "bind")
+	_, err := c.Run(100)
+	if err != ErrInstrLimit {
+		t.Fatalf("want ErrInstrLimit, got %v", err)
+	}
+}
+
+func TestAttackDetectionAndContinuity(t *testing.T) {
+	params := workload.MustByName("httpd")
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit := params.GenRequests(4, 2)
+	smash, err := attack.NewStackSmash(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(legit[:2:2], smash)
+	stream = append(stream, legit[2:]...)
+	port := netsim.NewPort(stream)
+	if _, err := c.LaunchService(0, "httpd", prog, port); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	vs := c.Violations()
+	if len(vs) == 0 || vs[0].Kind != monitor.ReturnMismatch {
+		t.Fatalf("violations %v", vs)
+	}
+	s := port.Summarize()
+	if s.Served != 4 || s.Aborted != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if c.Recovery().Stats().MicroRecoveries != 1 {
+		t.Fatal("micro recovery count")
+	}
+}
+
+func TestUnrecoverableWithoutScheme(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeNone
+	params := workload.MustByName("bind")
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort([]netsim.Request{attack.NewDoSCrash()})
+	if _, err := c.LaunchService(0, "bind", prog, port); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(0); err != nil {
+		t.Fatalf("halt without a request in flight should end the run cleanly, got %v", err)
+	}
+	// The crash halted the service; the request is never served.
+	if port.Summarize().Served != 0 {
+		t.Fatal("crash request served")
+	}
+}
+
+func TestMonitorPacing(t *testing.T) {
+	// With synthetic costs, verify the co-simulation clock math: a
+	// record enqueued at core time T completes at max(monClk, T) + cost.
+	cfg := DefaultConfig()
+	cfg.MonitorCosts = monitor.CostConfig{Call: 100, Return: 100, Origin: 100, Control: 100, Setjmp: 100}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workload.MustByName("bind")
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort(params.GenRequests(1, 1))
+	p, err := c.LaunchService(0, "bind", prog, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	// Drive emitTrace directly.
+	rec := trace.Record{Kind: trace.KindCall, Core: 1, PID: p.PID, Target: prog.Symbols["h_basic"], Ret: 4, SP: 0}
+	c.emitTrace(0, rec)
+	if c.queues[0].Len() != 1 {
+		t.Fatal("record not queued")
+	}
+	// Sync drains everything and charges the lag.
+	stall, err := c.syncPoint(0)
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if c.queues[0].Len() != 0 {
+		t.Fatal("sync left records")
+	}
+	if stall != 100 { // core clock 0, one record costing 100
+		t.Fatalf("sync stall %d, want 100", stall)
+	}
+}
+
+func TestFIFOFullForcesStall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FIFOEntries = 2
+	cfg.MonitorCosts = monitor.CostConfig{Call: 1000, Return: 1000, Origin: 1000, Control: 1000, Setjmp: 1000}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workload.MustByName("bind")
+	prog, _ := params.BuildProgram()
+	port := netsim.NewPort(nil)
+	p, err := c.LaunchService(0, "bind", prog, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.Record{Kind: trace.KindCall, Core: 1, PID: p.PID, Target: prog.Symbols["h_basic"]}
+	if s := c.emitTrace(0, rec); s != 0 {
+		t.Fatalf("first push stalled %d", s)
+	}
+	if s := c.emitTrace(0, rec); s != 0 {
+		t.Fatalf("second push stalled %d", s)
+	}
+	// Third push finds the queue full: the core must wait for the
+	// monitor to consume the head (costing 1000 cycles).
+	if s := c.emitTrace(0, rec); s == 0 {
+		t.Fatal("full FIFO did not stall")
+	}
+}
+
+func TestSchemeSelection(t *testing.T) {
+	for _, sk := range []SchemeKind{SchemeDelta, SchemeSoftwarePageCopy, SchemeHWVirtualCopy, SchemeUpdateLog} {
+		cfg := DefaultConfig()
+		cfg.Scheme = sk
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := workload.MustByName("bind")
+		prog, _ := params.BuildProgram()
+		port := netsim.NewPort(params.GenRequests(1, 1))
+		p, err := c.LaunchService(0, "bind", prog, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Ckpt == nil || p.Ckpt.Name() != sk.String() {
+			t.Fatalf("scheme %v wired as %v", sk, p.Ckpt)
+		}
+		if _, err := c.Run(0); err != nil {
+			t.Fatalf("%v: %v", sk, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Resurrectees = 0 },
+		func(c *Config) { c.FIFOEntries = 0 },
+		func(c *Config) { c.Checkpoint.LineBytes = 0 },
+		func(c *Config) { c.Hierarchy.L1I.SizeBytes = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	params := workload.MustByName("bind")
+	prog, _ := params.BuildProgram()
+	if _, err := c.LaunchService(5, "x", prog, netsim.NewPort(nil)); err == nil {
+		t.Fatal("bad slot accepted")
+	}
+}
+
+func TestAppRegistrationAtLaunch(t *testing.T) {
+	_, _, c := buildService(t, "nfs")
+	p := c.Process(0)
+	app, ok := c.Monitor().App(p.PID)
+	if !ok {
+		t.Fatal("app not registered")
+	}
+	if len(app.CodePages) == 0 || len(app.Funcs) == 0 || len(app.Exports) == 0 {
+		t.Fatalf("app info incomplete: %d pages %d funcs %d exports",
+			len(app.CodePages), len(app.Funcs), len(app.Exports))
+	}
+}
+
+func TestSchemeKindStrings(t *testing.T) {
+	for _, sk := range []SchemeKind{SchemeNone, SchemeDelta, SchemeSoftwarePageCopy, SchemeHWVirtualCopy, SchemeUpdateLog} {
+		if sk.String() == "scheme?" {
+			t.Fatalf("kind %d unnamed", sk)
+		}
+	}
+}
+
+func TestTwoResurrectorInsulation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Resurrectors = 2
+	cfg.Resurrectees = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := c.Watchdog()
+	// Cores 0 and 1 are privileged resurrectors; 2 and 3 resurrectees.
+	for core := 0; core < 2; core++ {
+		if err := wd.Check(core, 0x1000, 0); err != nil {
+			t.Fatalf("resurrector %d denied: %v", core, err)
+		}
+	}
+	for core := 2; core < 4; core++ {
+		if err := wd.Check(core, 0x1000, 0); err == nil {
+			t.Fatalf("resurrectee core %d reached the monitor region", core)
+		}
+		if err := wd.Check(core, cfg.ResurrectorMemBytes+0x1000, 1); err != nil {
+			t.Fatalf("resurrectee core %d denied its own region: %v", core, err)
+		}
+	}
+	// Core IDs on the resurrectee cores reflect the shifted numbering.
+	if c.Core(0).ID != 2 || c.Core(1).ID != 3 {
+		t.Fatalf("core ids %d %d", c.Core(0).ID, c.Core(1).ID)
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	_, _, c := buildService(t, "bind")
+	p := c.Process(0)
+	// The resurrector reads the service's dispatch table through its
+	// privileged view; the first entry must be the h_basic handler.
+	prog := p.Prog
+	table := prog.Symbols["table"]
+	got, err := c.Introspect(p.PID, table, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := uint32(got[0]) | uint32(got[1])<<8 | uint32(got[2])<<16 | uint32(got[3])<<24
+	if word != prog.Symbols["h_basic"] {
+		t.Fatalf("introspected table[0] = %#x, want h_basic %#x", word, prog.Symbols["h_basic"])
+	}
+	if _, err := c.Introspect(999, 0, 4); err == nil {
+		t.Fatal("unknown pid accepted")
+	}
+	if _, err := c.Introspect(p.PID, 0xDEAD0000, 4); err == nil {
+		t.Fatal("unmapped address accepted")
+	}
+}

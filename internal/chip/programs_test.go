@@ -1,0 +1,173 @@
+package chip
+
+import (
+	"fmt"
+	"testing"
+
+	"indra/internal/asm"
+	"indra/internal/isa"
+	"indra/internal/netsim"
+)
+
+// launchProgram assembles src, launches it on a default chip, runs to
+// completion and returns the chip (for violation inspection).
+func launchProgram(t *testing.T, src string) (*Chip, RunResult) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort(nil)
+	if _, err := c.LaunchService(0, "test", prog, port); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(2_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c, res
+}
+
+// TestSetjmpLongjmpEndToEnd exercises Section 3.2.1's special case on
+// real execution: the program registers a longjmp target, a deeply
+// nested function performs the non-local return, and the monitor
+// accepts it and unwinds its shadow stack so subsequent call/return
+// pairs still verify.
+func TestSetjmpLongjmpEndToEnd(t *testing.T) {
+	c, _ := launchProgram(t, `
+.data
+jmpenv: .space 8
+.text
+_start:
+  # setjmp: save sp, register the resume point with the resurrector
+  la r5, jmpenv
+  sw sp, 0(r5)
+  la r1, lj_resume
+  mv r2, sp
+  sys 13
+  call f1
+  halt              # not reached: f2 longjmps past this
+.func f1
+f1:
+  push lr
+  call f2
+  pop lr
+  ret
+.func f2
+f2:
+  push lr
+  # longjmp: restore the saved sp and return to the registered target
+  la r5, jmpenv
+  lw sp, 0(r5)
+  la lr, lj_resume
+  ret
+lj_resume:
+  li r9, 42
+  call f3           # the shadow stack must be consistent again
+  halt
+.func f3
+f3:
+  ret
+`)
+	if len(c.Violations()) != 0 {
+		t.Fatalf("longjmp flagged: %v", c.Violations())
+	}
+	if got := c.Core(0).Reg(9); got != 42 {
+		t.Fatalf("resume point not reached: r9=%d", got)
+	}
+	if d := c.Monitor().ShadowDepth(1, c.Process(0).PID); d != 0 {
+		t.Fatalf("shadow depth after unwind+call/ret: %d", d)
+	}
+}
+
+// dynProgram builds a program that writes/declares dynamic code and
+// calls into it. Encoded instructions are injected as data words.
+func dynProgram(declare bool) string {
+	addi := isa.Encode(isa.Inst{Op: isa.OpAddi, Rd: 9, Rs1: 9, Imm: 5})
+	ret := isa.Encode(isa.Inst{Op: isa.OpJalr, Rd: isa.R0, Rs1: isa.RLR})
+	decl := ""
+	if declare {
+		decl = `
+  la r1, dyncode
+  srli r1, r1, 12
+  slli r1, r1, 12
+  li r2, 4096
+  sys 14`
+	}
+	return fmt.Sprintf(`
+.data
+.align 4096
+dyncode: .word %d, %d
+.text
+_start:%s
+  li r9, 1
+  la r5, dyncode
+  callr r5
+  halt
+`, addi, ret, decl)
+}
+
+// TestDynamicCodeDeclared: Section 3.2.2 — explicitly declared
+// dynamic/self-modifying code regions execute without violations.
+func TestDynamicCodeDeclared(t *testing.T) {
+	c, _ := launchProgram(t, dynProgram(true))
+	if len(c.Violations()) != 0 {
+		t.Fatalf("declared dynamic code flagged: %v", c.Violations())
+	}
+	if got := c.Core(0).Reg(9); got != 6 {
+		t.Fatalf("dynamic code did not run: r9=%d", got)
+	}
+}
+
+// TestDynamicCodeUndeclared: the same jump without the declaration is
+// an injected-code attack and must be detected. With no request
+// checkpoint to roll back to, the service is halted (nothing to revive
+// to — corruption predates the first request).
+func TestDynamicCodeUndeclared(t *testing.T) {
+	c, _ := launchProgram(t, dynProgram(false))
+	if len(c.Violations()) == 0 {
+		t.Fatal("undeclared dynamic code not flagged")
+	}
+	if !c.Core(0).Halted() {
+		t.Fatal("unrecoverable pre-request violation should halt the service")
+	}
+}
+
+// TestComputedJumpPolicy: a computed jump (jr) must hit a function
+// entry or an exported label; an unexported mid-function target is a
+// control-transfer violation.
+func TestComputedJumpPolicy(t *testing.T) {
+	good, _ := launchProgram(t, `
+_start:
+  la r5, target
+  jr r5
+  halt
+.export target
+target:
+  li r9, 7
+  halt
+`)
+	if len(good.Violations()) != 0 {
+		t.Fatalf("exported jump target flagged: %v", good.Violations())
+	}
+	if good.Core(0).Reg(9) != 7 {
+		t.Fatal("jump not taken")
+	}
+
+	bad, _ := launchProgram(t, `
+_start:
+  la r5, hidden
+  jr r5
+  halt
+hidden:
+  li r9, 8
+  halt
+`)
+	if len(bad.Violations()) == 0 {
+		t.Fatal("unexported computed jump target accepted")
+	}
+}

@@ -1,0 +1,303 @@
+package chip
+
+import (
+	"errors"
+	"fmt"
+
+	"indra/internal/cpu"
+	"indra/internal/monitor"
+	"indra/internal/oslite"
+	"indra/internal/tlb"
+	"indra/internal/trace"
+)
+
+// activeIdx tracks which resurrectee slot is currently executing a
+// syscall, so the kernel's network and hook muxes can route. The chip
+// steps cores one at a time, so a single field suffices.
+func newITLB() *tlb.TLB { return tlb.New(tlb.DefaultITLB()) }
+func newDTLB() *tlb.TLB { return tlb.New(tlb.DefaultDTLB()) }
+
+// syscall routes a SYS instruction to the kernel (with chip-level
+// pre-handling for the calls that talk to the resurrector).
+func (c *Chip) syscall(idx int, core *cpu.Core, num int) (uint64, error) {
+	c.activeIdx = idx
+	p := c.slots[idx].activeProc()
+	if p == nil {
+		return 0, fmt.Errorf("chip: syscall with no process on slot %d", idx)
+	}
+	switch num {
+	case oslite.SysSetjmp:
+		// Register a legitimate longjmp target with the resurrector.
+		c.mon.RegisterSetjmp(p.PID, core.Reg(1), core.Reg(2))
+	case oslite.SysDynCode:
+		lo := core.Reg(1)
+		c.mon.RegisterDynCode(p.PID, monitor.Region{Lo: lo, Hi: lo + core.Reg(2)})
+		p.DynCode = append(p.DynCode, oslite.Region{Lo: lo, Hi: lo + core.Reg(2)})
+	}
+	cycles, err := c.kern.Syscall(p, core, num)
+	if p.Halted {
+		core.SetHalted(true)
+	}
+	return cycles, err
+}
+
+// emitTrace is the hardware FIFO push path. When monitoring is off the
+// tap is disabled entirely (no records, no stalls). When the FIFO is
+// full the resurrectee stalls until the monitor frees an entry
+// (Section 3.2.5's third synchronisation rule).
+func (c *Chip) emitTrace(idx int, rec trace.Record) uint64 {
+	if !c.cfg.Monitoring {
+		return 0
+	}
+	core := c.cores[idx]
+	now := core.Cycles()
+	q := c.queues[idx]
+
+	// Let the monitor consume whatever it would have finished by now.
+	c.drainUntil(idx, now)
+
+	var stall uint64
+	for q.Full() {
+		// Force-consume the head: the core waits for the monitor.
+		head, _ := q.Pop()
+		finish := c.verifyAt(idx, head)
+		if finish > now+stall {
+			stall = finish - now
+		}
+	}
+	rec.EnqueuedAt = now + stall
+	if !q.Push(rec) {
+		panic("chip: FIFO push failed after drain")
+	}
+	return stall
+}
+
+// resOf returns the resurrector serving resurrectee slot idx
+// (round-robin assignment).
+func (c *Chip) resOf(idx int) int { return idx % len(c.monClks) }
+
+// verifyAt runs one record through the monitor software of the slot's
+// resurrector, advancing that resurrector's clock, and returns the
+// record's completion time.
+func (c *Chip) verifyAt(idx int, rec trace.Record) uint64 {
+	r := c.resOf(idx)
+	start := c.monClks[r]
+	if rec.EnqueuedAt > start {
+		start = rec.EnqueuedAt
+	}
+	cost, v := c.mon.Verify(rec)
+	c.monClks[r] = start + cost
+	if v != nil && c.pending[idx] == nil {
+		c.pending[idx] = v
+		c.violationLog = append(c.violationLog, v)
+	}
+	return c.monClks[r]
+}
+
+// drainUntil consumes every record the monitor would have finished by
+// core time t.
+func (c *Chip) drainUntil(idx int, t uint64) {
+	q := c.queues[idx]
+	for {
+		head, ok := q.Peek()
+		if !ok {
+			return
+		}
+		start := c.monClks[c.resOf(idx)]
+		if head.EnqueuedAt > start {
+			start = head.EnqueuedAt
+		}
+		if start+c.cfg.MonitorCosts.Cost(head.Kind) > t {
+			return
+		}
+		q.Pop()
+		c.verifyAt(idx, head)
+	}
+}
+
+// syncPoint drains the FIFO completely — the resurrectee stalls until
+// every previously issued record is verified — and reports a pending
+// violation as an error so the syscall aborts before I/O.
+func (c *Chip) syncPoint(idx int) (uint64, error) {
+	if !c.cfg.Monitoring {
+		return 0, nil
+	}
+	core := c.cores[idx]
+	now := core.Cycles()
+	q := c.queues[idx]
+	var finish uint64
+	for {
+		head, ok := q.Pop()
+		if !ok {
+			break
+		}
+		finish = c.verifyAt(idx, head)
+	}
+	var stall uint64
+	if finish > now {
+		stall = finish - now
+	}
+	core.NoteSyncStall(stall)
+	if v := c.pending[idx]; v != nil {
+		return stall, v
+	}
+	return stall, nil
+}
+
+// recoverSlot runs the recovery manager for slot idx and clears
+// transient chip state tied to the rolled-back execution. When no
+// checkpoint exists yet (corruption before the first request), the
+// service is halted instead — nothing to revive to.
+func (c *Chip) recoverSlot(idx int, cause error) {
+	p := c.slots[idx].activeProc()
+	core := c.cores[idx]
+	port := c.slots[idx].activePort()
+
+	// Records from the aborted execution are meaningless once the
+	// shadow stack snapshot is restored: discard them unverified.
+	c.queues[idx].Drain()
+	if r := c.resOf(idx); c.monClks[r] < core.Cycles() {
+		c.monClks[r] = core.Cycles()
+	}
+	if port != nil && p.CurrentReq != 0 {
+		port.Abort(p.CurrentReq, core.Cycles())
+	}
+	c.pending[idx] = nil
+	if c.cfg.RebootRecovery {
+		if err := c.rebootSlot(idx); err != nil {
+			panic(err) // respawn of a previously loadable image cannot fail
+		}
+		return
+	}
+	if !c.rec.CanRecover(p) {
+		core.SetHalted(true)
+		p.Halted = true
+		return
+	}
+	cycles := c.rec.OnFailure(p, core)
+	core.AddCycles(cycles)
+}
+
+// RunResult summarises a Run.
+type RunResult struct {
+	Instret    uint64
+	Cycles     uint64 // max over resurrectee cores (they run concurrently)
+	Violations int
+	Halted     bool // all cores halted (request streams drained)
+}
+
+// ErrInstrLimit is returned when Run hits its instruction cap.
+var ErrInstrLimit = errors.New("chip: instruction limit reached")
+
+// Run steps the resurrectee cores until every service halts (request
+// streams drained) or the instruction cap is hit. Faults and monitor
+// detections trigger recovery in-line, exactly as the resurrector's
+// stall/recover/resume control would.
+func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
+	var res RunResult
+	if maxInstr == 0 {
+		maxInstr = 1 << 62
+	}
+	lastDrain := make([]uint64, len(c.cores))
+	for {
+		allHalted := true
+		var executed uint64
+		for idx, core := range c.cores {
+			if c.slots[idx].activeProc() == nil {
+				continue
+			}
+			if core.Halted() {
+				// A core that is still halted here terminated its process
+				// (stream drained, plain HALT outside a request, or an
+				// unrecoverable detection — recoverable ones resumed the
+				// core already). Mark it and hand the core to the next
+				// runnable process, if any.
+				if p := c.slots[idx].activeProc(); !p.Halted {
+					p.Halted = true
+				}
+				if !c.switchProcess(idx) {
+					continue
+				}
+			}
+			allHalted = false
+			c.activeIdx = idx
+			p := c.slots[idx].activeProc()
+
+			err := core.Step()
+			executed++
+
+			// Give the monitor a chance to catch up periodically even
+			// when the core emits no records (e.g. injected-code loops).
+			if c.cfg.Monitoring && core.Stats().Instret-lastDrain[idx] >= c.cfg.DrainInterval {
+				c.drainUntil(idx, core.Cycles())
+				lastDrain[idx] = core.Stats().Instret
+			}
+
+			// A halted core stops emitting, but the resurrector keeps
+			// consuming: drain the FIFO fully so trailing records (the
+			// final instructions before a HALT) are still verified.
+			if c.cfg.Monitoring && core.Halted() {
+				for {
+					head, ok := c.queues[idx].Pop()
+					if !ok {
+						break
+					}
+					c.verifyAt(idx, head)
+				}
+			}
+
+			switch {
+			case err != nil:
+				// Faults on a resurrectee are detection events: the
+				// watchdog, page protection or kernel flagged corruption.
+				if !c.canRecover(p) {
+					return res, fmt.Errorf("chip: unrecoverable fault (scheme=%v): %w", c.cfg.Scheme, err)
+				}
+				c.recoverSlot(idx, err)
+			case c.pending[idx] != nil:
+				c.recoverSlot(idx, c.pending[idx])
+			case core.Halted() && p.CurrentReq != 0 && !p.Halted:
+				// HALT mid-request: a DoS crash payload.
+				if c.canRecover(p) {
+					c.recoverSlot(idx, fmt.Errorf("halt during request"))
+				}
+			case c.rec.OverBudget(p, core):
+				// Liveness check: the request hung (DoS).
+				c.recoverSlot(idx, fmt.Errorf("instruction budget exceeded"))
+			case c.slots[idx].switchReq && !core.Halted():
+				// Between requests: the OS scheduler rotates processes.
+				c.switchProcess(idx)
+			}
+		}
+		res.Instret += executed
+		if allHalted {
+			res.Halted = true
+			break
+		}
+		if res.Instret >= maxInstr {
+			c.finishAccounting(&res)
+			return res, ErrInstrLimit
+		}
+	}
+	c.finishAccounting(&res)
+	return res, nil
+}
+
+func (c *Chip) finishAccounting(res *RunResult) {
+	for _, core := range c.cores {
+		if cy := core.Cycles(); cy > res.Cycles {
+			res.Cycles = cy
+		}
+	}
+	res.Violations = len(c.violationLog)
+}
+
+// canRecover reports whether a detection can be handled: either the
+// process has a backup scheme (INDRA recovery) or the platform falls
+// back to conventional reboots.
+func (c *Chip) canRecover(p *oslite.Process) bool {
+	if c.cfg.RebootRecovery {
+		return true
+	}
+	return p != nil && p.Ckpt != nil
+}

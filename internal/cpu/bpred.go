@@ -1,0 +1,96 @@
+package cpu
+
+// BPred is a bimodal (2-bit saturating counter) branch direction
+// predictor. The paper's processor model is a wide superscalar, where
+// control speculation dominates the pipeline's behaviour on branchy
+// server code; this small table gives the simulated core a realistic
+// split between free well-predicted branches and costly mispredicts,
+// instead of a fixed taken-branch bubble.
+type BPred struct {
+	table      []uint8 // 2-bit counters, initialised weakly-taken
+	mask       uint32
+	hits       uint64
+	mispredict uint64
+}
+
+// NewBPred creates a predictor with the given number of entries
+// (rounded down to a power of two; 0 disables prediction — every taken
+// branch pays the redirect penalty, the pre-predictor behaviour).
+func NewBPred(entries int) *BPred {
+	if entries <= 0 {
+		return &BPred{}
+	}
+	n := 1
+	for n*2 <= entries {
+		n *= 2
+	}
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &BPred{table: t, mask: uint32(n - 1)}
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *BPred) Predict(pc uint32) bool {
+	if len(b.table) == 0 {
+		return false // static not-taken
+	}
+	return b.table[(pc>>2)&b.mask] >= 2
+}
+
+// Update trains the predictor with the resolved direction and returns
+// whether the earlier prediction was correct.
+func (b *BPred) Update(pc uint32, taken bool) bool {
+	if len(b.table) == 0 {
+		// Disabled: model the original fixed redirect — a "mispredict"
+		// whenever the branch is taken.
+		if taken {
+			b.mispredict++
+			return false
+		}
+		b.hits++
+		return true
+	}
+	idx := (pc >> 2) & b.mask
+	ctr := b.table[idx]
+	predicted := ctr >= 2
+	if taken && ctr < 3 {
+		b.table[idx] = ctr + 1
+	}
+	if !taken && ctr > 0 {
+		b.table[idx] = ctr - 1
+	}
+	if predicted == taken {
+		b.hits++
+		return true
+	}
+	b.mispredict++
+	return false
+}
+
+// Hits returns the number of correct predictions.
+func (b *BPred) Hits() uint64 { return b.hits }
+
+// Mispredicts returns the number of wrong predictions.
+func (b *BPred) Mispredicts() uint64 { return b.mispredict }
+
+// Accuracy returns hits/(hits+mispredicts), 0 when idle.
+func (b *BPred) Accuracy() float64 {
+	total := b.hits + b.mispredict
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}
+
+// Reset clears the counters and re-initialises the table (process
+// switch or recovery flush: speculation state must not leak).
+func (b *BPred) Reset() {
+	for i := range b.table {
+		b.table[i] = 2
+	}
+}
+
+// ResetStats clears statistics only.
+func (b *BPred) ResetStats() { b.hits, b.mispredict = 0, 0 }

@@ -1,0 +1,105 @@
+package cpu
+
+import "testing"
+
+func TestBPredLearnsLoop(t *testing.T) {
+	b := NewBPred(256)
+	const pc = 0x1000
+	// A loop branch taken 100 times then falling through: after warmup
+	// the predictor must be right nearly always.
+	for i := 0; i < 100; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Fatal("saturated-taken branch predicted not-taken")
+	}
+	if b.Accuracy() < 0.97 {
+		t.Fatalf("loop accuracy %.2f", b.Accuracy())
+	}
+	// The final not-taken costs one mispredict, then it adapts.
+	b.Update(pc, false)
+	b.Update(pc, false)
+	b.Update(pc, false)
+	if b.Predict(pc) {
+		t.Fatal("predictor did not adapt to the new direction")
+	}
+}
+
+func TestBPredHysteresis(t *testing.T) {
+	b := NewBPred(16)
+	const pc = 0x40
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	// One anomalous not-taken must not flip a saturated counter.
+	b.Update(pc, false)
+	if !b.Predict(pc) {
+		t.Fatal("2-bit counter lost hysteresis")
+	}
+}
+
+func TestBPredDisabled(t *testing.T) {
+	b := NewBPred(0)
+	// Disabled: taken = mispredict (the fixed-bubble model).
+	if ok := b.Update(0x10, true); ok {
+		t.Fatal("disabled predictor claimed a taken branch")
+	}
+	if ok := b.Update(0x10, false); !ok {
+		t.Fatal("disabled predictor penalised a not-taken branch")
+	}
+	if b.Predict(0x10) {
+		t.Fatal("disabled predictor predicts taken")
+	}
+	if b.Mispredicts() != 1 || b.Hits() != 1 {
+		t.Fatalf("counters %d/%d", b.Hits(), b.Mispredicts())
+	}
+}
+
+func TestBPredRoundsToPowerOfTwo(t *testing.T) {
+	b := NewBPred(100) // rounds down to 64
+	if len(b.table) != 64 {
+		t.Fatalf("table size %d", len(b.table))
+	}
+}
+
+func TestBPredReset(t *testing.T) {
+	b := NewBPred(8)
+	for i := 0; i < 4; i++ {
+		b.Update(0x20, false)
+	}
+	if b.Predict(0x20) {
+		t.Fatal("trained not-taken")
+	}
+	b.Reset()
+	if !b.Predict(0x20) {
+		t.Fatal("reset should restore the weakly-taken init")
+	}
+	b.ResetStats()
+	if b.Hits()+b.Mispredicts() != 0 {
+		t.Fatal("stats reset")
+	}
+	if b.Accuracy() != 0 {
+		t.Fatal("idle accuracy")
+	}
+}
+
+func TestCoreCountsBranches(t *testing.T) {
+	h := newHarness(t, `
+_start:
+  li r1, 0
+  li r2, 20
+loop:
+  addi r1, r1, 1
+  blt r1, r2, loop
+  halt
+`)
+	h.run(t, 200)
+	st := h.core.Stats()
+	if st.Branches != 20 {
+		t.Fatalf("branches %d, want 20", st.Branches)
+	}
+	// The loop branch trains quickly: well under half mispredict.
+	if st.Mispredicts*2 > st.Branches {
+		t.Fatalf("mispredicts %d of %d", st.Mispredicts, st.Branches)
+	}
+}

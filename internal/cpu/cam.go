@@ -1,0 +1,77 @@
+package cpu
+
+// CAM is the small content-addressable memory that filters code-origin
+// checks (Section 3.2.2): it holds recently encountered fetched code
+// page addresses. On an IL1 fill, the core looks up the line's page
+// address; only on a CAM miss is the page sent to the resurrector for
+// code-origin inspection. The paper reports a 32-entry CAM filtering
+// more than 90% of the checks (Figure 10).
+//
+// Entries are fully associative with LRU replacement, which is what a
+// real CAM of this size would implement.
+type CAM struct {
+	entries []camEntry
+	clock   uint64
+	hits    uint64
+	misses  uint64
+}
+
+type camEntry struct {
+	page  uint32
+	valid bool
+	lru   uint64
+}
+
+// NewCAM creates a filter with the given number of entries. Zero
+// entries disables filtering (every fill is checked).
+func NewCAM(entries int) *CAM {
+	return &CAM{entries: make([]camEntry, entries)}
+}
+
+// Size returns the entry count.
+func (c *CAM) Size() int { return len(c.entries) }
+
+// Hits returns the number of filtered (suppressed) checks.
+func (c *CAM) Hits() uint64 { return c.hits }
+
+// Misses returns the number of checks forwarded to the monitor.
+func (c *CAM) Misses() uint64 { return c.misses }
+
+// Lookup consults the filter for a code page address, inserting it on a
+// miss. It returns true when the page was present (check suppressed).
+func (c *CAM) Lookup(page uint32) bool {
+	c.clock++
+	if len(c.entries) == 0 {
+		c.misses++
+		return false
+	}
+	victim := 0
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.page == page {
+			e.lru = c.clock
+			c.hits++
+			return true
+		}
+		if !c.entries[victim].valid {
+			continue
+		}
+		if !e.valid || e.lru < c.entries[victim].lru {
+			victim = i
+		}
+	}
+	c.misses++
+	c.entries[victim] = camEntry{page: page, valid: true, lru: c.clock}
+	return false
+}
+
+// Reset invalidates all entries (process switch, recovery flush): a
+// stale filter must not suppress checks for a different code image.
+func (c *CAM) Reset() {
+	for i := range c.entries {
+		c.entries[i] = camEntry{}
+	}
+}
+
+// ResetStats clears hit/miss counters.
+func (c *CAM) ResetStats() { c.hits, c.misses = 0, 0 }

@@ -1,0 +1,66 @@
+package cpu
+
+import "testing"
+
+func TestCAMBasics(t *testing.T) {
+	c := NewCAM(2)
+	if c.Lookup(0x1000) {
+		t.Fatal("cold lookup hit")
+	}
+	if !c.Lookup(0x1000) {
+		t.Fatal("warm lookup missed")
+	}
+	c.Lookup(0x2000)
+	// Touch 0x1000 so 0x2000 is LRU, then insert a third page.
+	c.Lookup(0x1000)
+	c.Lookup(0x3000)
+	if !c.Lookup(0x1000) {
+		t.Fatal("MRU page evicted")
+	}
+	if c.Lookup(0x2000) {
+		t.Fatal("LRU page survived")
+	}
+	if c.Hits() == 0 || c.Misses() == 0 {
+		t.Fatal("counters")
+	}
+}
+
+func TestCAMZeroSizeNeverFilters(t *testing.T) {
+	c := NewCAM(0)
+	for i := 0; i < 5; i++ {
+		if c.Lookup(0x1000) {
+			t.Fatal("zero-entry CAM filtered a check")
+		}
+	}
+	if c.Misses() != 5 {
+		t.Fatalf("misses %d", c.Misses())
+	}
+}
+
+func TestCAMReset(t *testing.T) {
+	c := NewCAM(4)
+	c.Lookup(0x1000)
+	c.Reset()
+	if c.Lookup(0x1000) {
+		t.Fatal("reset CAM must not suppress checks for a stale image")
+	}
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("stats reset")
+	}
+}
+
+func TestCAMFillsAllWaysBeforeEvicting(t *testing.T) {
+	c := NewCAM(4)
+	for i := uint32(0); i < 4; i++ {
+		c.Lookup(0x1000 * (i + 1))
+	}
+	for i := uint32(0); i < 4; i++ {
+		if !c.Lookup(0x1000 * (i + 1)) {
+			t.Fatalf("page %d evicted before capacity reached", i)
+		}
+	}
+	if c.Size() != 4 {
+		t.Fatal("size")
+	}
+}

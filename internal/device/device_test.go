@@ -1,0 +1,131 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"indra/internal/mem"
+	"indra/internal/watchdog"
+)
+
+func testDisk() (*Disk, *mem.Physical) {
+	phys := mem.NewPhysical(1 << 20)
+	wd := watchdog.New(watchdog.Config{
+		Privileged: watchdog.CoreMask(0),
+		Partitions: []watchdog.Partition{
+			{Lo: 0x10000, Hi: 0x80000, Cores: watchdog.CoreMask(1)},
+		},
+	})
+	return NewDisk(phys, wd, func(n uint32) uint64 { return uint64(n) }), phys
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d, phys := testDisk()
+	src := uint32(0x10000)
+	dst := uint32(0x20000)
+	payload := make([]byte, SectorBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	phys.WriteBytes(src, payload)
+
+	cyc, err := d.WriteSectors(1, 7, []uint32{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc == 0 {
+		t.Fatal("free DMA")
+	}
+	if _, err := d.ReadSectors(1, 7, []uint32{dst}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorBytes)
+	phys.ReadBytes(dst, got)
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], payload[i])
+		}
+	}
+	if d.SectorCount() != 1 {
+		t.Fatal("sector count")
+	}
+	if d.Peek(7)[3] != 3 {
+		t.Fatal("peek")
+	}
+}
+
+func TestUnwrittenSectorsReadZero(t *testing.T) {
+	d, phys := testDisk()
+	dst := uint32(0x30000)
+	phys.Write32(dst, 0xFFFFFFFF)
+	if _, err := d.ReadSectors(1, 99, []uint32{dst}); err != nil {
+		t.Fatal(err)
+	}
+	if phys.Read32(dst) != 0 {
+		t.Fatal("unwritten sector should read as zeroes")
+	}
+}
+
+// TestDMACannotBreachInsulation is the I/O half of the paper's
+// privilege model: a resurrectee-originated DMA descriptor aimed at
+// the resurrector's memory is rejected by the watchdog — the DMA
+// engine is not a side door around the hardware sandbox.
+func TestDMACannotBreachInsulation(t *testing.T) {
+	d, _ := testDisk()
+	// Core 1 tries to DMA the monitor's memory out to disk (exfiltrate).
+	_, err := d.WriteSectors(1, 0, []uint32{0x1000})
+	if err == nil {
+		t.Fatal("DMA read of the resurrector's memory allowed")
+	}
+	var f *DMAFault
+	if !errors.As(err, &f) {
+		t.Fatalf("error type %T", err)
+	}
+	var v *watchdog.Violation
+	if !errors.As(err, &v) {
+		t.Fatal("fault does not wrap the watchdog violation")
+	}
+	// Core 1 tries to DMA disk contents over the monitor's memory.
+	if _, err := d.ReadSectors(1, 0, []uint32{0x1000}); err == nil {
+		t.Fatal("DMA write into the resurrector's memory allowed")
+	}
+	// The privileged core may do both (introspection, checkpoint dumps).
+	if _, err := d.WriteSectors(0, 0, []uint32{0x1000}); err != nil {
+		t.Fatalf("resurrector DMA denied: %v", err)
+	}
+	if _, err := d.ReadSectors(0, 0, []uint32{0x1000}); err != nil {
+		t.Fatalf("resurrector DMA denied: %v", err)
+	}
+	if d.Stats().Rejected != 2 {
+		t.Fatalf("rejected count %d", d.Stats().Rejected)
+	}
+}
+
+func TestMultiSectorScatter(t *testing.T) {
+	d, phys := testDisk()
+	// Three scattered destination frames.
+	pas := []uint32{0x10000, 0x30000, 0x50000}
+	for i, pa := range pas {
+		phys.Write32(pa, uint32(100+i))
+	}
+	if _, err := d.WriteSectors(1, 10, pas); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Sectors != 3 || d.Stats().Writes != 1 {
+		t.Fatalf("stats %+v", d.Stats())
+	}
+	// Read them back reversed.
+	rev := []uint32{0x50000 + 0x1000, 0x30000 + 0x1000, 0x10000 + 0x1000}
+	if _, err := d.ReadSectors(1, 10, rev); err != nil {
+		t.Fatal(err)
+	}
+	if phys.Read32(rev[0]) != 100 || phys.Read32(rev[2]) != 102 {
+		t.Fatal("scatter order")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if ToMemory.String() != "to-memory" || FromMemory.String() != "from-memory" {
+		t.Fatal("direction strings")
+	}
+}

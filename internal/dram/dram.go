@@ -1,0 +1,177 @@
+// Package dram models main memory with PC SDRAM timing, following the
+// parameters the paper adopts from the Gries/Romer DRAM model (Table 4):
+// a 200 MHz, 8-byte wide memory bus, CAS latency 20 bus clocks,
+// precharge (RP) 7 bus clocks and RAS-to-CAS (RCD) 7 bus clocks, with
+// bank conflicts, page hits and row misses all modelled under an
+// open-page policy.
+//
+// The model is purely a latency oracle: callers present a physical
+// address and a transfer size and receive the access latency in core
+// clocks ("X-5-5-5" style — the X depends on the page status).
+package dram
+
+import "fmt"
+
+// Config holds SDRAM organisation and timing parameters. All latencies
+// are in memory bus clocks, converted to core clocks by CoreClocksPerBus.
+type Config struct {
+	Banks            int    // independent banks, each with one open row
+	RowBytes         uint32 // bytes per row (DRAM page)
+	BusBytes         uint32 // bus width in bytes per bus clock
+	CASLatency       uint64 // column access latency (bus clocks)
+	RPLatency        uint64 // precharge latency (bus clocks)
+	RCDLatency       uint64 // RAS-to-CAS latency (bus clocks)
+	CoreClocksPerBus uint64 // core clock multiplier over the memory bus
+}
+
+// DefaultConfig mirrors Table 4 of the paper: 200 MHz 8-byte bus,
+// CAS 20, RP 7, RCD 7 (bus clocks), 5 core clocks per bus clock
+// (a 1 GHz core over the 200 MHz bus).
+func DefaultConfig() Config {
+	return Config{
+		Banks:            4,
+		RowBytes:         4096,
+		BusBytes:         8,
+		CASLatency:       20,
+		RPLatency:        7,
+		RCDLatency:       7,
+		CoreClocksPerBus: 5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("dram: Banks must be positive, got %d", c.Banks)
+	case c.RowBytes == 0 || c.RowBytes&(c.RowBytes-1) != 0:
+		return fmt.Errorf("dram: RowBytes must be a power of two, got %d", c.RowBytes)
+	case c.BusBytes == 0 || c.BusBytes&(c.BusBytes-1) != 0:
+		return fmt.Errorf("dram: BusBytes must be a power of two, got %d", c.BusBytes)
+	case c.CoreClocksPerBus == 0:
+		return fmt.Errorf("dram: CoreClocksPerBus must be positive")
+	}
+	return nil
+}
+
+// PageStatus classifies an access relative to the bank's open row.
+type PageStatus uint8
+
+const (
+	RowHit      PageStatus = iota // open row matches: CAS only
+	RowEmpty                      // bank idle: RCD + CAS
+	RowConflict                   // different row open: RP + RCD + CAS
+)
+
+func (s PageStatus) String() string {
+	switch s {
+	case RowHit:
+		return "row-hit"
+	case RowEmpty:
+		return "row-empty"
+	case RowConflict:
+		return "row-conflict"
+	}
+	return "row-?"
+}
+
+// Stats aggregates access counts by page status.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Empties   uint64
+	Conflicts uint64
+	Cycles    uint64 // total core clocks spent in DRAM
+}
+
+// Model is an open-page SDRAM latency model. It is not safe for
+// concurrent use; each simulated memory controller owns one.
+type Model struct {
+	cfg     Config
+	openRow []int64 // per-bank open row index, -1 when precharged
+	stats   Stats
+}
+
+// New creates a Model. It panics if cfg is invalid, as a configuration
+// is always produced by code, not external input.
+func New(cfg Config) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Model{cfg: cfg, openRow: make([]int64, cfg.Banks)}
+	for i := range m.openRow {
+		m.openRow[i] = -1
+	}
+	return m
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the access statistics.
+func (m *Model) Stats() Stats { return m.stats }
+
+// ResetStats clears counters without touching open-row state.
+func (m *Model) ResetStats() { m.stats = Stats{} }
+
+// bankAndRow decomposes a physical address. Rows are interleaved across
+// banks at row granularity so that sequential rows map to distinct banks.
+func (m *Model) bankAndRow(addr uint32) (bank int, row int64) {
+	rowIdx := int64(addr / m.cfg.RowBytes)
+	return int(rowIdx % int64(m.cfg.Banks)), rowIdx / int64(m.cfg.Banks)
+}
+
+// Access returns the latency, in core clocks, of transferring size bytes
+// at addr, and updates the open-row state. Reads and writes are costed
+// identically, as in the underlying bus model.
+func (m *Model) Access(addr uint32, size uint32) uint64 {
+	lat, _ := m.AccessStatus(addr, size)
+	return lat
+}
+
+// AccessStatus is Access plus the page status that was observed, for
+// tests and detailed traces.
+func (m *Model) AccessStatus(addr uint32, size uint32) (uint64, PageStatus) {
+	bank, row := m.bankAndRow(addr)
+	var busClocks uint64
+	var st PageStatus
+	switch {
+	case m.openRow[bank] == row:
+		st = RowHit
+		busClocks = m.cfg.CASLatency
+	case m.openRow[bank] == -1:
+		st = RowEmpty
+		busClocks = m.cfg.RCDLatency + m.cfg.CASLatency
+	default:
+		st = RowConflict
+		busClocks = m.cfg.RPLatency + m.cfg.RCDLatency + m.cfg.CASLatency
+	}
+	m.openRow[bank] = row
+
+	if size == 0 {
+		size = 1
+	}
+	transfers := uint64((size + m.cfg.BusBytes - 1) / m.cfg.BusBytes)
+	busClocks += transfers
+
+	m.stats.Accesses++
+	switch st {
+	case RowHit:
+		m.stats.Hits++
+	case RowEmpty:
+		m.stats.Empties++
+	case RowConflict:
+		m.stats.Conflicts++
+	}
+	cycles := busClocks * m.cfg.CoreClocksPerBus
+	m.stats.Cycles += cycles
+	return cycles, st
+}
+
+// PrechargeAll closes every open row (e.g. across a simulated refresh
+// or a core reset), forcing the next access per bank to be RowEmpty.
+func (m *Model) PrechargeAll() {
+	for i := range m.openRow {
+		m.openRow[i] = -1
+	}
+}

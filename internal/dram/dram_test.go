@@ -1,0 +1,143 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageStatusSequence(t *testing.T) {
+	m := New(DefaultConfig())
+	cfg := m.Config()
+
+	// First access to a bank: row empty.
+	_, st := m.AccessStatus(0, 8)
+	if st != RowEmpty {
+		t.Fatalf("first access: %v, want row-empty", st)
+	}
+	// Same row again: hit.
+	_, st = m.AccessStatus(8, 8)
+	if st != RowHit {
+		t.Fatalf("same row: %v, want row-hit", st)
+	}
+	// Same bank, different row: conflict. Rows interleave across banks,
+	// so the same bank repeats every Banks rows.
+	conflictAddr := cfg.RowBytes * uint32(cfg.Banks)
+	_, st = m.AccessStatus(conflictAddr, 8)
+	if st != RowConflict {
+		t.Fatalf("same bank different row: %v, want row-conflict", st)
+	}
+	// A different bank is still empty.
+	_, st = m.AccessStatus(cfg.RowBytes, 8)
+	if st != RowEmpty {
+		t.Fatalf("other bank: %v, want row-empty", st)
+	}
+}
+
+func TestLatencyMath(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+
+	// Row empty: RCD + CAS + 1 transfer (8 bytes), in bus clocks, times
+	// the core multiplier.
+	lat, st := m.AccessStatus(0, 8)
+	wantBus := cfg.RCDLatency + cfg.CASLatency + 1
+	if st != RowEmpty || lat != wantBus*cfg.CoreClocksPerBus {
+		t.Fatalf("empty lat=%d, want %d", lat, wantBus*cfg.CoreClocksPerBus)
+	}
+	// Row hit with a 64-byte transfer: CAS + 8 transfers.
+	lat, st = m.AccessStatus(64, 64)
+	wantBus = cfg.CASLatency + 8
+	if st != RowHit || lat != wantBus*cfg.CoreClocksPerBus {
+		t.Fatalf("hit lat=%d, want %d", lat, wantBus*cfg.CoreClocksPerBus)
+	}
+	// Conflict: RP + RCD + CAS + 1.
+	lat, st = m.AccessStatus(cfg.RowBytes*uint32(cfg.Banks), 8)
+	wantBus = cfg.RPLatency + cfg.RCDLatency + cfg.CASLatency + 1
+	if st != RowConflict || lat != wantBus*cfg.CoreClocksPerBus {
+		t.Fatalf("conflict lat=%d, want %d", lat, wantBus*cfg.CoreClocksPerBus)
+	}
+}
+
+func TestZeroSizeAccessCountsOneTransfer(t *testing.T) {
+	m := New(DefaultConfig())
+	lat0 := m.Access(0, 0)
+	m.PrechargeAll()
+	lat1 := m.Access(0, 1)
+	if lat0 != lat1 {
+		t.Fatalf("size 0 lat %d != size 1 lat %d", lat0, lat1)
+	}
+}
+
+func TestStatsAndPrecharge(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 8)
+	m.Access(0, 8)
+	m.Access(uint32(m.Config().RowBytes)*uint32(m.Config().Banks), 8)
+	s := m.Stats()
+	if s.Accesses != 3 || s.Empties != 1 || s.Hits != 1 || s.Conflicts != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	m.PrechargeAll()
+	if _, st := m.AccessStatus(0, 8); st != RowEmpty {
+		t.Fatalf("after precharge: %v", st)
+	}
+	m.ResetStats()
+	if m.Stats().Accesses != 0 {
+		t.Fatal("reset stats")
+	}
+}
+
+// Property: a row hit is never slower than any other status at the same
+// transfer size, and latency grows monotonically with size.
+func TestLatencyOrderingQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(addrRaw uint32, sizeRaw uint16) bool {
+		addr := addrRaw % (64 << 20)
+		size := uint32(sizeRaw%512) + 1
+		m := New(cfg)
+		m.Access(addr, size) // open the row
+		hitLat := m.Access(addr, size)
+		m2 := New(cfg)
+		emptyLat := m2.Access(addr, size)
+		bigger := m2.Access(addr, size+64)
+		return hitLat <= emptyLat && bigger >= hitLat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Banks: 0, RowBytes: 4096, BusBytes: 8, CoreClocksPerBus: 5},
+		{Banks: 4, RowBytes: 1000, BusBytes: 8, CoreClocksPerBus: 5},
+		{Banks: 4, RowBytes: 4096, BusBytes: 7, CoreClocksPerBus: 5},
+		{Banks: 4, RowBytes: 4096, BusBytes: 8, CoreClocksPerBus: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestPageStatusString(t *testing.T) {
+	if RowHit.String() != "row-hit" || RowEmpty.String() != "row-empty" || RowConflict.String() != "row-conflict" {
+		t.Fatal("status strings")
+	}
+}

@@ -1,0 +1,109 @@
+// Package fifo models the shared hardware FIFO that couples a
+// resurrectee core to the resurrector (Section 3.2.5 of the paper).
+//
+// The FIFO is the synchronisation fabric of INDRA: the resurrectee
+// pushes trace records as a side effect of execution and stalls when
+// the queue is full; the resurrector pops records at the speed of its
+// (software) monitor. The paper finds that a queue of a few KB — 32+
+// entries — eliminates the majority of synchronisation stalls (Figure
+// 12); this model exposes exactly that experiment.
+package fifo
+
+import (
+	"fmt"
+
+	"indra/internal/trace"
+)
+
+// Stats counts queue traffic and contention.
+type Stats struct {
+	Pushes     uint64
+	Pops       uint64
+	FullEvents uint64 // pushes that found the queue full (producer stall)
+	MaxDepth   int
+}
+
+// Queue is a bounded ring of trace records. It is a purely functional
+// hardware model: time is handled by the chip co-simulation, which asks
+// the queue only about occupancy.
+type Queue struct {
+	buf   []trace.Record
+	head  int
+	count int
+	stats Stats
+}
+
+// New creates a queue with the given entry capacity.
+func New(capacity int) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("fifo: capacity must be positive, got %d", capacity))
+	}
+	return &Queue{buf: make([]trace.Record, capacity)}
+}
+
+// Cap returns the queue capacity in entries.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int { return q.count }
+
+// Full reports whether a push would block the producer.
+func (q *Queue) Full() bool { return q.count == len(q.buf) }
+
+// Empty reports whether a pop would find nothing.
+func (q *Queue) Empty() bool { return q.count == 0 }
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// ResetStats clears counters without touching contents.
+func (q *Queue) ResetStats() { q.stats = Stats{} }
+
+// Push appends a record. It returns false — and counts a full event —
+// when the queue is full; the caller models the resurrectee stall and
+// retries after draining.
+func (q *Queue) Push(r trace.Record) bool {
+	if q.Full() {
+		q.stats.FullEvents++
+		return false
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = r
+	q.count++
+	q.stats.Pushes++
+	if q.count > q.stats.MaxDepth {
+		q.stats.MaxDepth = q.count
+	}
+	return true
+}
+
+// Pop removes the oldest record. ok is false when the queue is empty.
+func (q *Queue) Pop() (r trace.Record, ok bool) {
+	if q.count == 0 {
+		return trace.Record{}, false
+	}
+	r = q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.stats.Pops++
+	return r, true
+}
+
+// Peek returns the oldest record without removing it.
+func (q *Queue) Peek() (r trace.Record, ok bool) {
+	if q.count == 0 {
+		return trace.Record{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// Drain removes and returns all queued records in order.
+func (q *Queue) Drain() []trace.Record {
+	out := make([]trace.Record, 0, q.count)
+	for {
+		r, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,141 @@
+package fifo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indra/internal/trace"
+)
+
+func rec(pc uint32) trace.Record {
+	return trace.Record{Kind: trace.KindCall, PC: pc}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	q := New(4)
+	for i := uint32(0); i < 4; i++ {
+		if !q.Push(rec(i)) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if !q.Full() || q.Len() != 4 {
+		t.Fatal("queue should be full")
+	}
+	if q.Push(rec(99)) {
+		t.Fatal("push into full queue accepted")
+	}
+	for i := uint32(0); i < 4; i++ {
+		r, ok := q.Pop()
+		if !ok || r.PC != i {
+			t.Fatalf("pop %d: got %v ok=%v", i, r.PC, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New(3)
+	for round := 0; round < 10; round++ {
+		for i := uint32(0); i < 3; i++ {
+			q.Push(rec(uint32(round)*10 + i))
+		}
+		for i := uint32(0); i < 3; i++ {
+			r, _ := q.Pop()
+			if r.PC != uint32(round)*10+i {
+				t.Fatalf("round %d: got %d", round, r.PC)
+			}
+		}
+	}
+}
+
+func TestPeekAndDrain(t *testing.T) {
+	q := New(8)
+	q.Push(rec(1))
+	q.Push(rec(2))
+	if r, ok := q.Peek(); !ok || r.PC != 1 {
+		t.Fatalf("peek %v %v", r, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek consumed")
+	}
+	out := q.Drain()
+	if len(out) != 2 || out[0].PC != 1 || out[1].PC != 2 {
+		t.Fatalf("drain %v", out)
+	}
+	if !q.Empty() {
+		t.Fatal("drain left entries")
+	}
+}
+
+func TestStats(t *testing.T) {
+	q := New(2)
+	q.Push(rec(1))
+	q.Push(rec(2))
+	q.Push(rec(3)) // full
+	q.Pop()
+	s := q.Stats()
+	if s.Pushes != 2 || s.Pops != 1 || s.FullEvents != 1 || s.MaxDepth != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	q.ResetStats()
+	if q.Stats().Pushes != 0 || q.Len() != 1 {
+		t.Fatal("reset must keep contents")
+	}
+}
+
+// Property: the queue behaves exactly like a bounded slice queue for
+// arbitrary push/pop interleavings.
+func TestQueueModelQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := New(5)
+		var model []trace.Record
+		next := uint32(0)
+		for _, op := range ops {
+			if op%3 != 0 { // push-biased
+				r := rec(next)
+				next++
+				ok := q.Push(r)
+				wantOK := len(model) < 5
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, r)
+				}
+			} else {
+				r, ok := q.Pop()
+				wantOK := len(model) > 0
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					if r.PC != model[0].PC {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

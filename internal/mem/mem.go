@@ -1,0 +1,118 @@
+// Package mem provides the flat physical memory shared by all cores on
+// the simulated chip, plus a simple page-frame allocator that the
+// OS-lite kernels and the resurrector runtime use to carve it up.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageBytes is the physical page (frame) size.
+const PageBytes = 4096
+
+// Physical is byte-addressable physical memory. It is a pure data
+// store; timing lives in the dram package and protection in watchdog.
+type Physical struct {
+	data []byte
+}
+
+// NewPhysical allocates size bytes of zeroed physical memory. Size must
+// be a positive multiple of PageBytes.
+func NewPhysical(size uint32) *Physical {
+	if size == 0 || size%PageBytes != 0 {
+		panic(fmt.Sprintf("mem: size %d must be a positive multiple of %d", size, PageBytes))
+	}
+	return &Physical{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (p *Physical) Size() uint32 { return uint32(len(p.data)) }
+
+// Read32 loads a little-endian 32-bit word. The address must be in
+// range and 4-byte aligned; the simulator guarantees alignment by
+// construction and the watchdog guarantees range, so violations here
+// are simulator bugs and panic.
+func (p *Physical) Read32(addr uint32) uint32 {
+	return binary.LittleEndian.Uint32(p.data[addr : addr+4])
+}
+
+// Write32 stores a little-endian 32-bit word.
+func (p *Physical) Write32(addr uint32, v uint32) {
+	binary.LittleEndian.PutUint32(p.data[addr:addr+4], v)
+}
+
+// Read8 loads a byte.
+func (p *Physical) Read8(addr uint32) uint8 { return p.data[addr] }
+
+// Write8 stores a byte.
+func (p *Physical) Write8(addr uint32, v uint8) { p.data[addr] = v }
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (p *Physical) ReadBytes(addr uint32, dst []byte) {
+	copy(dst, p.data[addr:addr+uint32(len(dst))])
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (p *Physical) WriteBytes(addr uint32, src []byte) {
+	copy(p.data[addr:addr+uint32(len(src))], src)
+}
+
+// ZeroPage clears the frame containing addr.
+func (p *Physical) ZeroPage(addr uint32) {
+	base := addr &^ (PageBytes - 1)
+	clear(p.data[base : base+PageBytes])
+}
+
+// FrameAllocator hands out physical page frames from a fixed region.
+// Each security domain (the resurrector's private region, each
+// resurrectee's region) gets its own allocator over its own partition,
+// so allocation can never cross the insulation boundary by construction
+// — the watchdog then enforces the same boundary on every access.
+type FrameAllocator struct {
+	lo, hi uint32 // region [lo, hi)
+	next   uint32
+	free   []uint32 // recycled frames
+}
+
+// NewFrameAllocator creates an allocator over [lo, hi), which must be
+// page-aligned and non-empty.
+func NewFrameAllocator(lo, hi uint32) *FrameAllocator {
+	if lo%PageBytes != 0 || hi%PageBytes != 0 || hi <= lo {
+		panic(fmt.Sprintf("mem: bad allocator region [%#x, %#x)", lo, hi))
+	}
+	return &FrameAllocator{lo: lo, hi: hi, next: lo}
+}
+
+// Region returns the allocator's [lo, hi) bounds.
+func (f *FrameAllocator) Region() (lo, hi uint32) { return f.lo, f.hi }
+
+// Alloc returns the base address of a fresh frame, or an error when the
+// region is exhausted.
+func (f *FrameAllocator) Alloc() (uint32, error) {
+	if n := len(f.free); n > 0 {
+		fr := f.free[n-1]
+		f.free = f.free[:n-1]
+		return fr, nil
+	}
+	if f.next >= f.hi {
+		return 0, fmt.Errorf("mem: frame region [%#x, %#x) exhausted", f.lo, f.hi)
+	}
+	fr := f.next
+	f.next += PageBytes
+	return fr, nil
+}
+
+// Free returns a frame to the allocator. Freeing a frame outside the
+// region is a simulator bug and panics.
+func (f *FrameAllocator) Free(frame uint32) {
+	if frame < f.lo || frame >= f.hi || frame%PageBytes != 0 {
+		panic(fmt.Sprintf("mem: free of invalid frame %#x", frame))
+	}
+	f.free = append(f.free, frame)
+}
+
+// InUse returns the number of frames currently allocated.
+func (f *FrameAllocator) InUse() int {
+	return int((f.next-f.lo)/PageBytes) - len(f.free)
+}

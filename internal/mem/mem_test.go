@@ -1,0 +1,103 @@
+package mem
+
+import "testing"
+
+func TestReadWrite(t *testing.T) {
+	p := NewPhysical(2 * PageBytes)
+	p.Write32(100, 0xDEADBEEF)
+	if got := p.Read32(100); got != 0xDEADBEEF {
+		t.Fatalf("read32 %#x", got)
+	}
+	// Little-endian layout.
+	if p.Read8(100) != 0xEF || p.Read8(103) != 0xDE {
+		t.Fatal("endianness")
+	}
+	p.Write8(200, 0x5A)
+	if p.Read8(200) != 0x5A {
+		t.Fatal("byte rw")
+	}
+	buf := []byte{1, 2, 3, 4, 5}
+	p.WriteBytes(300, buf)
+	out := make([]byte, 5)
+	p.ReadBytes(300, out)
+	for i := range buf {
+		if out[i] != buf[i] {
+			t.Fatalf("bulk rw at %d: %v", i, out)
+		}
+	}
+}
+
+func TestZeroPage(t *testing.T) {
+	p := NewPhysical(2 * PageBytes)
+	p.Write32(PageBytes+8, 7)
+	p.ZeroPage(PageBytes + 100)
+	if p.Read32(PageBytes+8) != 0 {
+		t.Fatal("page not zeroed")
+	}
+}
+
+func TestNewPhysicalValidation(t *testing.T) {
+	for _, size := range []uint32{0, 100, PageBytes + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d should panic", size)
+				}
+			}()
+			NewPhysical(size)
+		}()
+	}
+}
+
+func TestFrameAllocator(t *testing.T) {
+	a := NewFrameAllocator(PageBytes, 4*PageBytes) // 3 frames
+	lo, hi := a.Region()
+	if lo != PageBytes || hi != 4*PageBytes {
+		t.Fatal("region readback")
+	}
+	var frames []uint32
+	for i := 0; i < 3; i++ {
+		f, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if f%PageBytes != 0 || f < lo || f >= hi {
+			t.Fatalf("frame %#x out of region", f)
+		}
+		frames = append(frames, f)
+	}
+	if a.InUse() != 3 {
+		t.Fatalf("in use %d", a.InUse())
+	}
+	if _, err := a.Alloc(); err == nil {
+		t.Fatal("exhausted allocator succeeded")
+	}
+	a.Free(frames[1])
+	if a.InUse() != 2 {
+		t.Fatalf("in use after free %d", a.InUse())
+	}
+	f, err := a.Alloc()
+	if err != nil || f != frames[1] {
+		t.Fatalf("recycled frame %#x, want %#x (%v)", f, frames[1], err)
+	}
+}
+
+func TestFrameAllocatorPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad region should panic")
+			}
+		}()
+		NewFrameAllocator(100, 200)
+	}()
+	a := NewFrameAllocator(0, PageBytes)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad free should panic")
+			}
+		}()
+		a.Free(2 * PageBytes)
+	}()
+}

@@ -1,0 +1,292 @@
+package monitor
+
+import (
+	"testing"
+
+	"indra/internal/trace"
+)
+
+func testApp() *AppInfo {
+	return &AppInfo{
+		PID:  42,
+		Name: "svc",
+		CodePages: map[uint32]bool{
+			0x10000: true, 0x11000: true,
+		},
+		Funcs:   map[uint32]bool{0x10100: true, 0x10200: true},
+		Exports: map[uint32]bool{0x10300: true},
+	}
+}
+
+func newTestMonitor() *Monitor {
+	m := New(DefaultCosts())
+	m.RegisterApp(testApp())
+	return m
+}
+
+func call(target, ret, sp uint32, indirect bool) trace.Record {
+	return trace.Record{Kind: trace.KindCall, Core: 1, PID: 42,
+		PC: ret - 4, Target: target, Ret: ret, SP: sp, Indirect: indirect}
+}
+
+func ret(target, sp uint32) trace.Record {
+	return trace.Record{Kind: trace.KindReturn, Core: 1, PID: 42, Target: target, SP: sp}
+}
+
+func TestMatchedCallReturn(t *testing.T) {
+	m := newTestMonitor()
+	if _, v := m.Verify(call(0x10100, 0x10004, 0xFF00, false)); v != nil {
+		t.Fatalf("call flagged: %v", v)
+	}
+	if m.ShadowDepth(1, 42) != 1 {
+		t.Fatal("shadow depth")
+	}
+	if _, v := m.Verify(ret(0x10004, 0xFF00)); v != nil {
+		t.Fatalf("matched return flagged: %v", v)
+	}
+	if m.ShadowDepth(1, 42) != 0 {
+		t.Fatal("shadow pop")
+	}
+}
+
+func TestReturnMismatchDetected(t *testing.T) {
+	m := newTestMonitor()
+	m.Verify(call(0x10100, 0x10004, 0xFF00, false))
+	_, v := m.Verify(ret(0xDEAD, 0xFF00))
+	if v == nil || v.Kind != ReturnMismatch || v.Expected != 0x10004 {
+		t.Fatalf("violation %v", v)
+	}
+	if m.Stats().Violations != 1 {
+		t.Fatal("violation counter")
+	}
+}
+
+func TestShadowUnderflow(t *testing.T) {
+	m := newTestMonitor()
+	_, v := m.Verify(ret(0x10004, 0xFF00))
+	if v == nil || v.Kind != ShadowUnderflow {
+		t.Fatalf("violation %v", v)
+	}
+}
+
+func TestNestedCallsLIFO(t *testing.T) {
+	m := newTestMonitor()
+	m.Verify(call(0x10100, 0x10004, 0xFF00, false))
+	m.Verify(call(0x10200, 0x10104, 0xFEF0, false))
+	if _, v := m.Verify(ret(0x10104, 0xFEF0)); v != nil {
+		t.Fatalf("inner return: %v", v)
+	}
+	if _, v := m.Verify(ret(0x10004, 0xFF00)); v != nil {
+		t.Fatalf("outer return: %v", v)
+	}
+}
+
+func TestCodeOrigin(t *testing.T) {
+	m := newTestMonitor()
+	ok := trace.Record{Kind: trace.KindCodeOrigin, Core: 1, PID: 42, Target: 0x10000}
+	if _, v := m.Verify(ok); v != nil {
+		t.Fatalf("legit page flagged: %v", v)
+	}
+	bad := trace.Record{Kind: trace.KindCodeOrigin, Core: 1, PID: 42, Target: 0x80000}
+	_, v := m.Verify(bad)
+	if v == nil || v.Kind != CodeOriginViolation {
+		t.Fatalf("injected page not flagged: %v", v)
+	}
+}
+
+func TestDynCodeRegionAccepted(t *testing.T) {
+	m := newTestMonitor()
+	m.RegisterDynCode(42, Region{Lo: 0x90000, Hi: 0x91000})
+	rec := trace.Record{Kind: trace.KindCodeOrigin, Core: 1, PID: 42, Target: 0x90000}
+	if _, v := m.Verify(rec); v != nil {
+		t.Fatalf("declared dynamic code flagged: %v", v)
+	}
+	ctl := trace.Record{Kind: trace.KindControl, Core: 1, PID: 42, Target: 0x90010}
+	if _, v := m.Verify(ctl); v != nil {
+		t.Fatalf("jump into dynamic region flagged: %v", v)
+	}
+}
+
+func TestControlTransferPolicy(t *testing.T) {
+	m := newTestMonitor()
+	// Function entry, export: fine. Arbitrary address: violation.
+	for _, target := range []uint32{0x10100, 0x10300} {
+		rec := trace.Record{Kind: trace.KindControl, Core: 1, PID: 42, Target: target}
+		if _, v := m.Verify(rec); v != nil {
+			t.Fatalf("valid target %#x flagged: %v", target, v)
+		}
+	}
+	rec := trace.Record{Kind: trace.KindControl, Core: 1, PID: 42, Target: 0x10102}
+	_, v := m.Verify(rec)
+	if v == nil || v.Kind != BadControlTarget {
+		t.Fatalf("mid-function target accepted: %v", v)
+	}
+}
+
+func TestIndirectCallTargetCheck(t *testing.T) {
+	m := newTestMonitor()
+	if _, v := m.Verify(call(0x10100, 0x10004, 0xFF00, true)); v != nil {
+		t.Fatalf("indirect call to entry flagged: %v", v)
+	}
+	_, v := m.Verify(call(0xBEEF, 0x10008, 0xFF00, true))
+	if v == nil || v.Kind != BadCallTarget {
+		t.Fatalf("hijacked pointer accepted: %v", v)
+	}
+}
+
+func TestSetjmpLongjmp(t *testing.T) {
+	m := newTestMonitor()
+	m.RegisterSetjmp(42, 0x10150, 0xFF00)
+	// Deep call chain after setjmp.
+	m.Verify(call(0x10100, 0x10004, 0xFF00, false))
+	m.Verify(call(0x10200, 0x10104, 0xFEE0, false))
+	m.Verify(call(0x10200, 0x10204, 0xFED0, false))
+	// A return that "goes wrong" but matches the registered setjmp
+	// target with the right SP is a longjmp: allowed, and the shadow
+	// stack unwinds the discarded frames.
+	_, v := m.Verify(ret(0x10150, 0xFF00))
+	if v != nil {
+		t.Fatalf("longjmp flagged: %v", v)
+	}
+	if d := m.ShadowDepth(1, 42); d != 0 {
+		t.Fatalf("shadow depth after unwind: %d", d)
+	}
+	// The same non-local return without registration is a violation.
+	m2 := newTestMonitor()
+	m2.Verify(call(0x10100, 0x10004, 0xFF00, false))
+	_, v = m2.Verify(ret(0x10150, 0xFF00))
+	if v == nil {
+		t.Fatal("unregistered longjmp accepted")
+	}
+}
+
+func TestLongjmpRecord(t *testing.T) {
+	m := newTestMonitor()
+	m.RegisterSetjmp(42, 0x10150, 0xFF00)
+	rec := trace.Record{Kind: trace.KindLongjmp, Core: 1, PID: 42, Target: 0x10150, SP: 0xFF00}
+	if _, v := m.Verify(rec); v != nil {
+		t.Fatalf("registered longjmp flagged: %v", v)
+	}
+	bad := trace.Record{Kind: trace.KindLongjmp, Core: 1, PID: 42, Target: 0xBAD, SP: 0xFF00}
+	if _, v := m.Verify(bad); v == nil {
+		t.Fatal("wild longjmp accepted")
+	}
+}
+
+func TestSetjmpRecordRegisters(t *testing.T) {
+	m := newTestMonitor()
+	rec := trace.Record{Kind: trace.KindSetjmp, Core: 1, PID: 42, Target: 0x10160, SP: 0xFE00}
+	m.Verify(rec)
+	lj := trace.Record{Kind: trace.KindLongjmp, Core: 1, PID: 42, Target: 0x10160, SP: 0xFE00}
+	if _, v := m.Verify(lj); v != nil {
+		t.Fatalf("setjmp-registered target rejected: %v", v)
+	}
+}
+
+func TestUnknownAppStrictness(t *testing.T) {
+	m := New(DefaultCosts())
+	rec := call(0x10100, 0x10004, 0xFF00, false)
+	_, v := m.Verify(rec)
+	if v == nil || v.Kind != UnknownApp {
+		t.Fatalf("strict mode accepted unknown app: %v", v)
+	}
+	m.Strict = false
+	if _, v := m.Verify(rec); v != nil {
+		t.Fatalf("lenient mode flagged unknown app: %v", v)
+	}
+}
+
+func TestPolicyGating(t *testing.T) {
+	m := newTestMonitor()
+	m.Policy = Policy{} // everything off
+	m.Verify(call(0xBEEF, 0x10004, 0xFF00, true))
+	_, v := m.Verify(ret(0xDEAD, 0xFF00))
+	if v != nil {
+		t.Fatalf("disabled call/return check fired: %v", v)
+	}
+	rec := trace.Record{Kind: trace.KindCodeOrigin, Core: 1, PID: 42, Target: 0x80000}
+	if _, v := m.Verify(rec); v != nil {
+		t.Fatal("disabled code-origin check fired")
+	}
+	ctl := trace.Record{Kind: trace.KindControl, Core: 1, PID: 42, Target: 0xBAD}
+	if _, v := m.Verify(ctl); v != nil {
+		t.Fatal("disabled control check fired")
+	}
+	// Shadow state is still maintained for later tightening.
+	if m.ShadowDepth(1, 42) != 0 {
+		t.Fatal("shadow state under disabled policy")
+	}
+}
+
+func TestShadowSnapshotRestore(t *testing.T) {
+	m := newTestMonitor()
+	m.Verify(call(0x10100, 0x10004, 0xFF00, false))
+	snap := m.SnapshotShadow(1, 42)
+	m.Verify(call(0x10200, 0x10104, 0xFEF0, false))
+	m.RestoreShadow(1, 42, snap)
+	if m.ShadowDepth(1, 42) != 1 {
+		t.Fatal("restore depth")
+	}
+	// The restored stack still verifies the outer return.
+	if _, v := m.Verify(ret(0x10004, 0xFF00)); v != nil {
+		t.Fatalf("restored shadow rejects valid return: %v", v)
+	}
+	// The snapshot is isolated from later mutation.
+	if len(snap) != 1 {
+		t.Fatal("snapshot aliased")
+	}
+}
+
+func TestPerCoreIsolation(t *testing.T) {
+	m := newTestMonitor()
+	r1 := call(0x10100, 0x10004, 0xFF00, false)
+	r2 := r1
+	r2.Core = 2
+	m.Verify(r1)
+	m.Verify(r2)
+	if m.ShadowDepth(1, 42) != 1 || m.ShadowDepth(2, 42) != 1 {
+		t.Fatal("per-core shadow stacks should be independent")
+	}
+}
+
+func TestCostsCharged(t *testing.T) {
+	costs := CostConfig{Call: 10, Return: 20, Origin: 30, Control: 40, Setjmp: 50}
+	m := New(costs)
+	m.RegisterApp(testApp())
+	c, _ := m.Verify(call(0x10100, 0x10004, 0xFF00, false))
+	if c != 10 {
+		t.Fatalf("call cost %d", c)
+	}
+	c, _ = m.Verify(ret(0x10004, 0xFF00))
+	if c != 20 {
+		t.Fatalf("return cost %d", c)
+	}
+	if m.Stats().Cycles != 30 {
+		t.Fatalf("accumulated cycles %d", m.Stats().Cycles)
+	}
+	if m.Stats().Records[trace.KindCall] != 1 {
+		t.Fatal("record counters")
+	}
+}
+
+func TestViolationFormatting(t *testing.T) {
+	v := &Violation{Kind: ReturnMismatch, Rec: ret(1, 2), Expected: 3}
+	if v.Error() == "" {
+		t.Fatal("violation message")
+	}
+	for k := ReturnMismatch; k <= UnknownApp; k++ {
+		if k.String() == "violation" {
+			t.Fatalf("kind %d lacks a name", k)
+		}
+	}
+}
+
+func TestAppLookup(t *testing.T) {
+	m := newTestMonitor()
+	if a, ok := m.App(42); !ok || a.Name != "svc" {
+		t.Fatal("app lookup")
+	}
+	if _, ok := m.App(1); ok {
+		t.Fatal("phantom app")
+	}
+}

@@ -1,0 +1,87 @@
+package netsim
+
+import "sort"
+
+// ConnState models the application-level connection carrying one
+// request (Section 3.3.4 of the paper: for services like HTTP and DNS
+// the application-level connection is per-request and stateless; INDRA
+// never tries to resurrect the connection of a malicious client — the
+// natural response to recovery is terminating it).
+type ConnState uint8
+
+const (
+	// ConnIdle: the request has not been delivered yet.
+	ConnIdle ConnState = iota
+	// ConnOpen: the server accepted the request; a connection exists.
+	ConnOpen
+	// ConnClosed: the response was sent and the connection completed
+	// gracefully.
+	ConnClosed
+	// ConnReset: recovery terminated the connection without a response
+	// (the client observes a reset, never a corrupt answer).
+	ConnReset
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case ConnIdle:
+		return "idle"
+	case ConnOpen:
+		return "open"
+	case ConnClosed:
+		return "closed"
+	case ConnReset:
+		return "reset"
+	}
+	return "conn?"
+}
+
+// Conn returns the connection state for a request record, derived from
+// its outcome: the transport view of the application-level lifecycle.
+func (r *RequestRecord) Conn() ConnState {
+	switch r.Outcome {
+	case Undelivered:
+		return ConnIdle
+	case Pending:
+		return ConnOpen
+	case Served:
+		return ConnClosed
+	case Aborted:
+		return ConnReset
+	}
+	return ConnIdle
+}
+
+// ConnCounts tallies connection states across the port's records —
+// the view a transport-level observer (or the paper's packet dump)
+// would have of the server's behaviour.
+func (p *Port) ConnCounts() map[ConnState]int {
+	out := make(map[ConnState]int)
+	for _, id := range p.order {
+		out[p.records[id].Conn()]++
+	}
+	return out
+}
+
+// Percentile returns the q-quantile (0..1) of served response times,
+// in cycles. Returns 0 when nothing was served.
+func (p *Port) Percentile(q float64) uint64 {
+	var rts []uint64
+	for _, id := range p.order {
+		if rec := p.records[id]; rec.Outcome == Served {
+			rts = append(rts, rec.ResponseTime())
+		}
+	}
+	if len(rts) == 0 {
+		return 0
+	}
+	sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
+	if q <= 0 {
+		return rts[0]
+	}
+	if q >= 1 {
+		return rts[len(rts)-1]
+	}
+	idx := int(q * float64(len(rts)-1))
+	return rts[idx]
+}

@@ -1,0 +1,57 @@
+package netsim
+
+import "testing"
+
+func TestConnStates(t *testing.T) {
+	p := NewPort([]Request{
+		{Payload: []byte("a")},
+		{Payload: []byte("b")},
+		{Payload: []byte("c")},
+		{Payload: []byte("d")},
+	})
+	r1, _ := p.Recv(10)
+	p.Send(r1.ID, nil, 20)
+	r2, _ := p.Recv(30)
+	p.Abort(r2.ID, 40)
+	p.Recv(50) // left open (pending)
+
+	counts := p.ConnCounts()
+	if counts[ConnClosed] != 1 || counts[ConnReset] != 1 || counts[ConnOpen] != 1 || counts[ConnIdle] != 1 {
+		t.Fatalf("connection counts %v", counts)
+	}
+
+	rec, _ := p.Record(r2.ID)
+	if rec.Conn() != ConnReset {
+		t.Fatalf("aborted request's connection = %v, want reset", rec.Conn())
+	}
+	for s := ConnIdle; s <= ConnReset; s++ {
+		if s.String() == "conn?" {
+			t.Fatalf("state %d unnamed", s)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	p := NewPort([]Request{
+		{Payload: []byte("a")}, {Payload: []byte("b")},
+		{Payload: []byte("c")}, {Payload: []byte("d")},
+	})
+	// Response times 10, 20, 30, 40.
+	for i := uint64(1); i <= 4; i++ {
+		r, _ := p.Recv(0)
+		p.Send(r.ID, nil, i*10)
+	}
+	if got := p.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := p.Percentile(1); got != 40 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if got := p.Percentile(0.5); got != 20 {
+		t.Fatalf("p50 = %d", got)
+	}
+	empty := NewPort(nil)
+	if empty.Percentile(0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}

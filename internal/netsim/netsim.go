@@ -1,0 +1,197 @@
+// Package netsim is the simulated network: scripted clients enqueue
+// service requests, the server consumes them through the OS-lite
+// syscall layer, and a collector records per-request timing — the
+// "network packet dump module" the paper uses to identify each packet's
+// receive and send time on the simulated server (Section 4.2).
+package netsim
+
+import "fmt"
+
+// Request is one network service request. Payload layout is
+// workload-defined; Label carries the experiment's ground truth (e.g.
+// "legit", "stack-smash") and is invisible to the simulated server.
+type Request struct {
+	ID      uint64
+	Payload []byte
+	Label   string
+}
+
+// Outcome describes how a request ended.
+type Outcome uint8
+
+const (
+	// Pending requests have been delivered but not answered yet.
+	Pending Outcome = iota
+	// Served requests received a response.
+	Served
+	// Aborted requests were rolled back after a detection.
+	Aborted
+	// Undelivered requests were still queued when the run ended.
+	Undelivered
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Pending:
+		return "pending"
+	case Served:
+		return "served"
+	case Aborted:
+		return "aborted"
+	case Undelivered:
+		return "undelivered"
+	}
+	return "outcome?"
+}
+
+// RequestRecord is the collector's per-request log entry. Times are
+// core cycles of the serving core.
+type RequestRecord struct {
+	Request
+	Outcome   Outcome
+	RecvAt    uint64
+	RespondAt uint64
+	Response  []byte
+	ServedNth int // order of completion among served requests
+}
+
+// ResponseTime returns the service response time in cycles (0 unless served).
+func (r *RequestRecord) ResponseTime() uint64 {
+	if r.Outcome != Served {
+		return 0
+	}
+	return r.RespondAt - r.RecvAt
+}
+
+// Port is the server-side network endpoint. It implements
+// oslite.NetPort structurally (Recv/Send) and records everything.
+type Port struct {
+	queue   []Request
+	next    int
+	records map[uint64]*RequestRecord
+	order   []uint64
+	served  int
+}
+
+// NewPort creates a port with a scripted request stream.
+func NewPort(requests []Request) *Port {
+	p := &Port{records: make(map[uint64]*RequestRecord)}
+	p.Enqueue(requests...)
+	return p
+}
+
+// Enqueue appends more requests to the stream. IDs must be unique and
+// non-zero; a zero ID is assigned sequentially.
+func (p *Port) Enqueue(requests ...Request) {
+	for _, r := range requests {
+		if r.ID == 0 {
+			r.ID = uint64(len(p.order) + 1)
+		}
+		if _, dup := p.records[r.ID]; dup {
+			panic(fmt.Sprintf("netsim: duplicate request id %d", r.ID))
+		}
+		p.queue = append(p.queue, r)
+		p.records[r.ID] = &RequestRecord{Request: r, Outcome: Undelivered}
+		p.order = append(p.order, r.ID)
+	}
+}
+
+// Recv implements the server receive: delivers the next request.
+func (p *Port) Recv(now uint64) (Request, bool) {
+	if p.next >= len(p.queue) {
+		return Request{}, false
+	}
+	r := p.queue[p.next]
+	p.next++
+	rec := p.records[r.ID]
+	rec.Outcome = Pending
+	rec.RecvAt = now
+	return r, true
+}
+
+// Send implements the server response path.
+func (p *Port) Send(id uint64, payload []byte, now uint64) {
+	rec, ok := p.records[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: response for unknown request %d", id))
+	}
+	rec.Outcome = Served
+	rec.RespondAt = now
+	rec.Response = append([]byte(nil), payload...)
+	p.served++
+	rec.ServedNth = p.served
+}
+
+// Abort marks a request as rolled back after detection.
+func (p *Port) Abort(id uint64, now uint64) {
+	if rec, ok := p.records[id]; ok && rec.Outcome == Pending {
+		rec.Outcome = Aborted
+		rec.RespondAt = now
+	}
+}
+
+// Remaining returns how many requests are still undelivered.
+func (p *Port) Remaining() int { return len(p.queue) - p.next }
+
+// DropNext discards up to n undelivered requests (clients whose
+// packets arrived while the server was down, e.g. during a reboot).
+// They are recorded as Aborted. Returns how many were dropped.
+func (p *Port) DropNext(n int, now uint64) int {
+	dropped := 0
+	for dropped < n && p.next < len(p.queue) {
+		rec := p.records[p.queue[p.next].ID]
+		rec.Outcome = Aborted
+		rec.RecvAt = now
+		rec.RespondAt = now
+		p.next++
+		dropped++
+	}
+	return dropped
+}
+
+// Records returns per-request records in enqueue order.
+func (p *Port) Records() []*RequestRecord {
+	out := make([]*RequestRecord, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.records[id])
+	}
+	return out
+}
+
+// Record returns the record for one request id.
+func (p *Port) Record(id uint64) (*RequestRecord, bool) {
+	r, ok := p.records[id]
+	return r, ok
+}
+
+// Summary aggregates outcomes and response times.
+type Summary struct {
+	Total       int
+	Served      int
+	Aborted     int
+	Undelivered int
+	TotalRT     uint64  // sum of served response times (cycles)
+	MeanRT      float64 // mean served response time (cycles)
+}
+
+// Summarize computes the port's summary.
+func (p *Port) Summarize() Summary {
+	var s Summary
+	for _, id := range p.order {
+		rec := p.records[id]
+		s.Total++
+		switch rec.Outcome {
+		case Served:
+			s.Served++
+			s.TotalRT += rec.ResponseTime()
+		case Aborted:
+			s.Aborted++
+		case Undelivered, Pending:
+			s.Undelivered++
+		}
+	}
+	if s.Served > 0 {
+		s.MeanRT = float64(s.TotalRT) / float64(s.Served)
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import "testing"
+
+func TestPortLifecycle(t *testing.T) {
+	p := NewPort([]Request{
+		{Payload: []byte("a"), Label: "legit"},
+		{Payload: []byte("b"), Label: "attack"},
+		{Payload: []byte("c"), Label: "legit"},
+	})
+	if p.Remaining() != 3 {
+		t.Fatal("remaining")
+	}
+
+	r1, ok := p.Recv(100)
+	if !ok || string(r1.Payload) != "a" || r1.ID != 1 {
+		t.Fatalf("recv %+v %v", r1, ok)
+	}
+	p.Send(r1.ID, []byte("resp"), 150)
+
+	r2, _ := p.Recv(200)
+	p.Abort(r2.ID, 250)
+
+	r3, _ := p.Recv(300)
+	p.Send(r3.ID, nil, 400)
+
+	if _, ok := p.Recv(500); ok {
+		t.Fatal("drained recv succeeded")
+	}
+
+	s := p.Summarize()
+	if s.Total != 3 || s.Served != 2 || s.Aborted != 1 || s.Undelivered != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.TotalRT != 50+100 || s.MeanRT != 75 {
+		t.Fatalf("response times %+v", s)
+	}
+
+	rec, _ := p.Record(r1.ID)
+	if rec.Outcome != Served || rec.ResponseTime() != 50 || string(rec.Response) != "resp" {
+		t.Fatalf("record %+v", rec)
+	}
+	if rec.ServedNth != 1 {
+		t.Fatal("serve order")
+	}
+	recs := p.Records()
+	if len(recs) != 3 || recs[1].Outcome != Aborted {
+		t.Fatal("records order")
+	}
+	if recs[1].ResponseTime() != 0 {
+		t.Fatal("aborted requests have no response time")
+	}
+}
+
+func TestUndeliveredOutcome(t *testing.T) {
+	p := NewPort([]Request{{Payload: []byte("x")}})
+	s := p.Summarize()
+	if s.Undelivered != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestEnqueueAssignsIDs(t *testing.T) {
+	p := NewPort(nil)
+	p.Enqueue(Request{Payload: []byte("1")})
+	p.Enqueue(Request{ID: 77, Payload: []byte("2")})
+	r, _ := p.Recv(0)
+	if r.ID != 1 {
+		t.Fatalf("auto id %d", r.ID)
+	}
+	r, _ = p.Recv(0)
+	if r.ID != 77 {
+		t.Fatalf("explicit id %d", r.ID)
+	}
+}
+
+func TestDuplicateIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPort([]Request{{ID: 5}, {ID: 5}})
+}
+
+func TestUnknownResponsePanics(t *testing.T) {
+	p := NewPort(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Send(99, nil, 0)
+}
+
+func TestAbortOnlyPending(t *testing.T) {
+	p := NewPort([]Request{{Payload: []byte("a")}})
+	r, _ := p.Recv(0)
+	p.Send(r.ID, nil, 10)
+	p.Abort(r.ID, 20) // already served: no-op
+	rec, _ := p.Record(r.ID)
+	if rec.Outcome != Served {
+		t.Fatal("abort clobbered a served request")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o := Pending; o <= Undelivered; o++ {
+		if o.String() == "outcome?" {
+			t.Fatalf("outcome %d unnamed", o)
+		}
+	}
+}

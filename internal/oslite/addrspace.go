@@ -1,0 +1,231 @@
+// Package oslite is the light operating system that runs on INDRA's
+// resurrectee cores: virtual address spaces over watchdog-partitioned
+// physical memory, processes with recoverable resource state (file
+// descriptors, children, heap), an in-memory file system, and the
+// syscall layer that ties server applications to the simulated network
+// and to the checkpoint/recovery machinery.
+//
+// It corresponds to the "full operating system" the resurrectees boot
+// in the paper (Section 3.1.2), reduced to what network services and
+// the recovery model of Section 3.3.3 require.
+package oslite
+
+import (
+	"fmt"
+
+	"indra/internal/mem"
+)
+
+// PageBytes is the virtual page size (matches the physical frame size).
+const PageBytes = mem.PageBytes
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Page permissions. Execute is deliberately *not* enforced at fetch
+// time by the resurrectee hardware: the paper argues local
+// execute-permission bits can be tampered with by a compromised kernel,
+// which is why authoritative code-origin state lives in the resurrector
+// (Section 3.2.2). The bits recorded here are what the loader *posts*
+// to the resurrector at program start.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// PageFault describes a failed translation or permission check.
+type PageFault struct {
+	VA    uint32
+	Write bool
+	Perm  Perm // permissions found (0 if unmapped)
+}
+
+func (f *PageFault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	if f.Perm == 0 {
+		return fmt.Sprintf("page fault: %s of unmapped va %#x", op, f.VA)
+	}
+	return fmt.Sprintf("page fault: %s of va %#x denied (%s)", op, f.VA, f.Perm)
+}
+
+type pte struct {
+	frame uint32
+	perm  Perm
+}
+
+// AddressSpace is a per-process page table over physical memory. It
+// implements checkpoint.Memory so the delta engine can copy pre-images
+// and lazily restore lines in terms of virtual addresses.
+type AddressSpace struct {
+	phys  *mem.Physical
+	pages map[uint32]pte // key: virtual page number
+}
+
+// NewAddressSpace creates an empty address space over phys.
+func NewAddressSpace(phys *mem.Physical) *AddressSpace {
+	return &AddressSpace{phys: phys, pages: make(map[uint32]pte)}
+}
+
+func vpn(va uint32) uint32 { return va / PageBytes }
+
+// Map installs a translation from the page containing va to the
+// physical frame, with the given permissions.
+func (as *AddressSpace) Map(va uint32, frame uint32, perm Perm) {
+	if frame%PageBytes != 0 {
+		panic(fmt.Sprintf("oslite: unaligned frame %#x", frame))
+	}
+	as.pages[vpn(va)] = pte{frame: frame, perm: perm}
+}
+
+// Unmap removes the translation for the page containing va and returns
+// the frame it pointed to (ok=false if unmapped).
+func (as *AddressSpace) Unmap(va uint32) (frame uint32, ok bool) {
+	p, ok := as.pages[vpn(va)]
+	if ok {
+		delete(as.pages, vpn(va))
+	}
+	return p.frame, ok
+}
+
+// Mapped reports whether va has a translation.
+func (as *AddressSpace) Mapped(va uint32) bool {
+	_, ok := as.pages[vpn(va)]
+	return ok
+}
+
+// PermAt returns the permissions of the page containing va (0 if unmapped).
+func (as *AddressSpace) PermAt(va uint32) Perm { return as.pages[vpn(va)].perm }
+
+// Translate resolves va to a physical address, checking only presence.
+// Permission enforcement is the caller's policy decision (stores check
+// PermW; fetches deliberately skip PermX — see the Perm doc).
+func (as *AddressSpace) Translate(va uint32) (pa uint32, perm Perm, err error) {
+	p, ok := as.pages[vpn(va)]
+	if !ok {
+		return 0, 0, &PageFault{VA: va}
+	}
+	return p.frame + va%PageBytes, p.perm, nil
+}
+
+// mustPA translates or panics; for kernel-internal accesses to pages it
+// just mapped itself.
+func (as *AddressSpace) mustPA(va uint32) uint32 {
+	pa, _, err := as.Translate(va)
+	if err != nil {
+		panic(err)
+	}
+	return pa
+}
+
+// ReadLine implements checkpoint.Memory. Lines are aligned and never
+// cross page boundaries.
+func (as *AddressSpace) ReadLine(va uint32, buf []byte) {
+	as.phys.ReadBytes(as.mustPA(va), buf)
+}
+
+// WriteLine implements checkpoint.Memory.
+func (as *AddressSpace) WriteLine(va uint32, data []byte) {
+	as.phys.WriteBytes(as.mustPA(va), data)
+}
+
+// Read32 loads a word at va (functional, kernel use).
+func (as *AddressSpace) Read32(va uint32) (uint32, error) {
+	pa, _, err := as.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	return as.phys.Read32(pa), nil
+}
+
+// Write32 stores a word at va (functional, kernel use; no W check).
+func (as *AddressSpace) Write32(va uint32, v uint32) error {
+	pa, _, err := as.Translate(va)
+	if err != nil {
+		return err
+	}
+	as.phys.Write32(pa, v)
+	return nil
+}
+
+// Read8 loads a byte at va.
+func (as *AddressSpace) Read8(va uint32) (uint8, error) {
+	pa, _, err := as.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	return as.phys.Read8(pa), nil
+}
+
+// Write8 stores a byte at va.
+func (as *AddressSpace) Write8(va uint32, v uint8) error {
+	pa, _, err := as.Translate(va)
+	if err != nil {
+		return err
+	}
+	as.phys.Write8(pa, v)
+	return nil
+}
+
+// ReadBytes copies len(dst) bytes from va, page by page.
+func (as *AddressSpace) ReadBytes(va uint32, dst []byte) error {
+	for len(dst) > 0 {
+		pa, _, err := as.Translate(va)
+		if err != nil {
+			return err
+		}
+		n := PageBytes - int(va%PageBytes)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		as.phys.ReadBytes(pa, dst[:n])
+		dst = dst[n:]
+		va += uint32(n)
+	}
+	return nil
+}
+
+// WriteBytes copies src to va, page by page.
+func (as *AddressSpace) WriteBytes(va uint32, src []byte) error {
+	for len(src) > 0 {
+		pa, _, err := as.Translate(va)
+		if err != nil {
+			return err
+		}
+		n := PageBytes - int(va%PageBytes)
+		if n > len(src) {
+			n = len(src)
+		}
+		as.phys.WriteBytes(pa, src[:n])
+		src = src[n:]
+		va += uint32(n)
+	}
+	return nil
+}
+
+// Pages returns the number of mapped pages.
+func (as *AddressSpace) Pages() int { return len(as.pages) }
+
+// EachPage calls fn for every mapped page (iteration order unspecified).
+func (as *AddressSpace) EachPage(fn func(vaBase uint32, frame uint32, perm Perm)) {
+	for v, p := range as.pages {
+		fn(v*PageBytes, p.frame, p.perm)
+	}
+}

@@ -1,0 +1,105 @@
+package oslite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// File is an in-memory file.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// FS is the in-memory file system shared by all processes on a
+// resurrectee's OS instance. Per the paper's recovery model (Section
+// 3.3.3), file *contents* are never rolled back — writes already issued
+// are considered verified by the monitor synchronisation rule — but
+// descriptors opened after a checkpoint are closed during recovery.
+type FS struct {
+	files map[string]*File
+}
+
+// NewFS creates an empty file system.
+func NewFS() *FS { return &FS{files: make(map[string]*File)} }
+
+// Create makes (or truncates) a file and returns it.
+func (fs *FS) Create(name string) *File {
+	f := &File{Name: name}
+	fs.files[name] = f
+	return f
+}
+
+// Lookup finds a file by name.
+func (fs *FS) Lookup(name string) (*File, bool) {
+	f, ok := fs.files[name]
+	return f, ok
+}
+
+// Put installs a file with contents (test/workload setup).
+func (fs *FS) Put(name string, data []byte) *File {
+	f := &File{Name: name, Data: data}
+	fs.files[name] = f
+	return f
+}
+
+// Names returns all file names, sorted.
+func (fs *FS) Names() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Descriptor is an open-file handle with an independent offset.
+type Descriptor struct {
+	FD     int
+	File   *File
+	Offset int
+	Append bool
+}
+
+// descriptorTable manages a process's open files.
+type descriptorTable struct {
+	next int
+	open map[int]*Descriptor
+}
+
+func newDescriptorTable() descriptorTable {
+	return descriptorTable{next: 3, open: make(map[int]*Descriptor)} // 0-2 reserved
+}
+
+func (t *descriptorTable) insert(f *File, appendMode bool) *Descriptor {
+	d := &Descriptor{FD: t.next, File: f, Append: appendMode}
+	t.open[d.FD] = d
+	t.next++
+	return d
+}
+
+func (t *descriptorTable) get(fd int) (*Descriptor, error) {
+	d, ok := t.open[fd]
+	if !ok {
+		return nil, fmt.Errorf("oslite: bad file descriptor %d", fd)
+	}
+	return d, nil
+}
+
+func (t *descriptorTable) close(fd int) error {
+	if _, ok := t.open[fd]; !ok {
+		return fmt.Errorf("oslite: close of bad descriptor %d", fd)
+	}
+	delete(t.open, fd)
+	return nil
+}
+
+// fds returns the open descriptor numbers (sorted, for snapshots).
+func (t *descriptorTable) fds() []int {
+	out := make([]int, 0, len(t.open))
+	for fd := range t.open {
+		out = append(out, fd)
+	}
+	sort.Ints(out)
+	return out
+}

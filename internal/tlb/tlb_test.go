@@ -1,0 +1,82 @@
+package tlb
+
+import "testing"
+
+func TestHitMissAndWalkCost(t *testing.T) {
+	tl := New(Config{Name: "t", Entries: 8, Assoc: 2, WalkCycles: 20})
+	if c := tl.Access(5); c != 20 {
+		t.Fatalf("cold access cost %d", c)
+	}
+	if c := tl.Access(5); c != 0 {
+		t.Fatalf("warm access cost %d", c)
+	}
+	s := tl.Stats()
+	if s.Accesses != 2 || s.Misses != 1 || s.Cycles != 20 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2 sets, 2 ways. VPNs 0,2,4 share set 0.
+	tl := New(Config{Name: "t", Entries: 4, Assoc: 2, WalkCycles: 10})
+	tl.Access(0)
+	tl.Access(2)
+	tl.Access(0) // 2 becomes LRU
+	tl.Access(4) // evicts 2
+	if c := tl.Access(0); c != 0 {
+		t.Fatal("0 should still hit")
+	}
+	if c := tl.Access(4); c != 0 {
+		t.Fatal("4 should hit")
+	}
+	if c := tl.Access(2); c == 0 {
+		t.Fatal("2 should have been evicted")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := New(DefaultITLB())
+	tl.Access(1)
+	tl.FlushAll()
+	if c := tl.Access(1); c == 0 {
+		t.Fatal("flushed entry still hit")
+	}
+}
+
+func TestDefaultsMatchTable4(t *testing.T) {
+	i, d := DefaultITLB(), DefaultDTLB()
+	if i.Entries != 128 || i.Assoc != 4 || d.Entries != 256 || d.Assoc != 4 {
+		t.Fatalf("defaults: %+v %+v", i, d)
+	}
+	if err := i.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "a", Entries: 0, Assoc: 1},
+		{Name: "b", Entries: 10, Assoc: 3},
+		{Name: "c", Entries: 24, Assoc: 4}, // 6 sets
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	tl := New(DefaultDTLB())
+	tl.Access(3)
+	tl.ResetStats()
+	if tl.Stats().Accesses != 0 {
+		t.Fatal("reset")
+	}
+	if c := tl.Access(3); c != 0 {
+		t.Fatal("reset should keep contents")
+	}
+}

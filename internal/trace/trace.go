@@ -1,0 +1,80 @@
+// Package trace defines the event records a resurrectee core emits to
+// the resurrector through the shared hardware FIFO (Section 3.2 of the
+// paper). Each record is tagged with the issuing core and the process
+// identity (the paper pairs trace entries with the CR3 value; we carry
+// the OS-lite process ID, which is unique per address space in the same
+// way).
+package trace
+
+import "fmt"
+
+// Kind discriminates trace records.
+type Kind uint8
+
+const (
+	// KindCall reports a function call: target, return address and stack
+	// pointer (Section 3.2.1).
+	KindCall Kind = iota
+	// KindReturn reports a function return and where execution resumed.
+	KindReturn
+	// KindCodeOrigin reports an IL1 fill from a code page that missed the
+	// core's CAM filter; the monitor verifies the page's execute
+	// privilege (Section 3.2.2).
+	KindCodeOrigin
+	// KindControl reports a computed or indirect control transfer whose
+	// target must be validated against the symbol table / export list
+	// (Section 3.2.3).
+	KindControl
+	// KindSetjmp registers a legitimate longjmp target; KindLongjmp
+	// reports the non-local transfer for validation (Section 3.2.1).
+	KindSetjmp
+	// KindLongjmp reports a longjmp-style non-local control transfer.
+	KindLongjmp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "return"
+	case KindCodeOrigin:
+		return "code-origin"
+	case KindControl:
+		return "control"
+	case KindSetjmp:
+		return "setjmp"
+	case KindLongjmp:
+		return "longjmp"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one FIFO entry. Field meaning varies by Kind:
+//
+//	Call:       PC=call site, Target=callee entry, Ret=return address, SP=stack pointer
+//	Return:     PC=return instruction, Target=resume address, SP=stack pointer
+//	CodeOrigin: Target=fetched line address, PC=fetch PC
+//	Control:    PC=jump site, Target=jump destination, Indirect=true for register targets
+//	Setjmp:     Target=registered resume point, SP=stack pointer at setjmp
+//	Longjmp:    Target=resume point requested, SP=restored stack pointer
+type Record struct {
+	Kind     Kind
+	Core     int    // issuing resurrectee core ID
+	PID      int    // OS-lite process identity (the paper's CR3 analogue)
+	PC       uint32 // instruction address that generated the record
+	Target   uint32
+	Ret      uint32
+	SP       uint32
+	Indirect bool
+
+	// EnqueuedAt is the emitting core's cycle time when the record
+	// entered the FIFO; the chip's co-simulation uses it to pace the
+	// monitor relative to the resurrectee.
+	EnqueuedAt uint64
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%s core=%d pid=%d pc=%08x target=%08x ret=%08x sp=%08x",
+		r.Kind, r.Core, r.PID, r.PC, r.Target, r.Ret, r.SP)
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindCall:       "call",
+		KindReturn:     "return",
+		KindCodeOrigin: "code-origin",
+		KindControl:    "control",
+		KindSetjmp:     "setjmp",
+		KindLongjmp:    "longjmp",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Kind: KindCall, Core: 1, PID: 42, PC: 0x100, Target: 0x200, Ret: 0x104, SP: 0xFF0}
+	s := r.String()
+	for _, want := range []string{"call", "core=1", "pid=42", "pc=00000100", "target=00000200"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("record string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package watchdog implements INDRA's hardware memory watchdog
+// (Sections 2.3.1 and 3.1.1 of the paper): every memory access issued
+// on the chip is tagged with its core's ID, and a simple hardware check
+// guarantees that resurrectee cores can only touch the physical memory
+// the resurrector assigned to them. The resurrector itself may read and
+// write the entire address space.
+//
+// The watchdog is what makes the resurrector *invisible and
+// transparent* to the resurrectees — corrupted state on a resurrectee
+// is self-contained and cannot reach the monitor's memory, BIOS copy or
+// runtime system.
+package watchdog
+
+import "fmt"
+
+// Access classifies the operation being checked.
+type Access uint8
+
+const (
+	Read Access = iota
+	Write
+	Execute
+)
+
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Execute:
+		return "execute"
+	}
+	return "access"
+}
+
+// Violation describes a rejected access. It implements error.
+type Violation struct {
+	Core int
+	Addr uint32
+	Op   Access
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("watchdog: core %d illegal %s of physical %#x", v.Core, v.Op, v.Addr)
+}
+
+// Partition grants a set of cores access to a physical range [Lo, Hi).
+type Partition struct {
+	Lo, Hi uint32
+	Cores  uint64 // bitmask of core IDs allowed in this range
+}
+
+// Config is the watchdog programming interface. Only the resurrector
+// (the privileged boot core) may program it; the simulator enforces
+// that by construction (the chip exposes programming only through the
+// resurrector's runtime system).
+type Config struct {
+	// Privileged is the bitmask of cores exempt from checks (the
+	// resurrector cores, which may access the entire space).
+	Privileged uint64
+	Partitions []Partition
+}
+
+// Watchdog performs the per-access check. The zero value denies
+// everything to unprivileged cores; program it via Configure.
+type Watchdog struct {
+	cfg        Config
+	violations uint64
+	checks     uint64
+}
+
+// New returns a watchdog with the given initial configuration.
+func New(cfg Config) *Watchdog { return &Watchdog{cfg: cfg} }
+
+// Configure reprograms partitions (boot-time operation of the
+// resurrector's runtime system).
+func (w *Watchdog) Configure(cfg Config) { w.cfg = cfg }
+
+// Config returns the current programming.
+func (w *Watchdog) Config() Config { return w.cfg }
+
+// CoreMask builds a bitmask from core IDs.
+func CoreMask(cores ...int) uint64 {
+	var m uint64
+	for _, c := range cores {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// Check validates an access by core to physical addr. It returns nil
+// when permitted and a *Violation otherwise.
+func (w *Watchdog) Check(core int, addr uint32, op Access) error {
+	w.checks++
+	if w.cfg.Privileged&(1<<uint(core)) != 0 {
+		return nil
+	}
+	for _, p := range w.cfg.Partitions {
+		if addr >= p.Lo && addr < p.Hi && p.Cores&(1<<uint(core)) != 0 {
+			return nil
+		}
+	}
+	w.violations++
+	return &Violation{Core: core, Addr: addr, Op: op}
+}
+
+// Checks returns the number of checks performed.
+func (w *Watchdog) Checks() uint64 { return w.checks }
+
+// Violations returns the number of rejected accesses.
+func (w *Watchdog) Violations() uint64 { return w.violations }

@@ -1,0 +1,112 @@
+package watchdog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Privileged: CoreMask(0),
+		Partitions: []Partition{
+			{Lo: 0x1000_0000, Hi: 0x4000_0000, Cores: CoreMask(1, 2)},
+		},
+	}
+}
+
+func TestPrivilegedCoreSeesEverything(t *testing.T) {
+	w := New(testConfig())
+	for _, addr := range []uint32{0, 0x0FFF_FFFF, 0x1000_0000, 0xFFFF_FFFF} {
+		for _, op := range []Access{Read, Write, Execute} {
+			if err := w.Check(0, addr, op); err != nil {
+				t.Fatalf("resurrector denied %v at %#x: %v", op, addr, err)
+			}
+		}
+	}
+}
+
+func TestResurrecteeConfinement(t *testing.T) {
+	w := New(testConfig())
+	// Inside its partition: allowed.
+	if err := w.Check(1, 0x2000_0000, Write); err != nil {
+		t.Fatalf("in-partition access denied: %v", err)
+	}
+	// The resurrector's region: denied — this is the insulation that
+	// makes the monitor remote-attack immune.
+	err := w.Check(1, 0x0000_1000, Read)
+	if err == nil {
+		t.Fatal("resurrectee read the resurrector's memory")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error type %T", err)
+	}
+	if v.Core != 1 || v.Addr != 0x1000 || v.Op != Read {
+		t.Fatalf("violation fields %+v", v)
+	}
+	if !strings.Contains(v.Error(), "core 1") {
+		t.Fatalf("violation message %q", v.Error())
+	}
+	// Above the partition: denied too.
+	if err := w.Check(2, 0x4000_0000, Write); err == nil {
+		t.Fatal("access past partition end allowed")
+	}
+	// A core not in the partition mask: denied.
+	if err := w.Check(3, 0x2000_0000, Read); err == nil {
+		t.Fatal("unlisted core allowed")
+	}
+}
+
+func TestBoundaryAddresses(t *testing.T) {
+	w := New(testConfig())
+	if err := w.Check(1, 0x1000_0000, Read); err != nil {
+		t.Fatal("Lo is inclusive")
+	}
+	if err := w.Check(1, 0x3FFF_FFFF, Read); err != nil {
+		t.Fatal("Hi-1 is inside")
+	}
+	if err := w.Check(1, 0x4000_0000, Read); err == nil {
+		t.Fatal("Hi is exclusive")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	w := New(testConfig())
+	w.Check(1, 0x2000_0000, Read)
+	w.Check(1, 0, Read)
+	w.Check(0, 0, Write)
+	if w.Checks() != 3 || w.Violations() != 1 {
+		t.Fatalf("checks=%d violations=%d", w.Checks(), w.Violations())
+	}
+}
+
+func TestZeroValueDeniesUnprivileged(t *testing.T) {
+	var w Watchdog
+	if err := w.Check(1, 0, Read); err == nil {
+		t.Fatal("zero-value watchdog must deny")
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	w := New(testConfig())
+	w.Configure(Config{Privileged: CoreMask(0, 1)})
+	if err := w.Check(1, 0, Write); err != nil {
+		t.Fatal("reconfigured privilege not honoured")
+	}
+	if got := w.Config().Privileged; got != CoreMask(0, 1) {
+		t.Fatalf("config readback %#x", got)
+	}
+}
+
+func TestCoreMask(t *testing.T) {
+	if CoreMask(0) != 1 || CoreMask(1, 3) != 0b1010 || CoreMask() != 0 {
+		t.Fatal("CoreMask math")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Execute.String() != "execute" {
+		t.Fatal("access strings")
+	}
+}

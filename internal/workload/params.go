@@ -1,0 +1,185 @@
+// Package workload builds the six network server applications of the
+// paper's evaluation (ftpd, httpd, bind, sendmail, imap, nfs) as SRV32
+// programs, plus their request streams.
+//
+// The paper runs the real daemons under a full-system emulator; this
+// reproduction substitutes *calibrated synthetic services*: generated
+// SRV32 programs whose dynamic behaviour matches the characteristics
+// the evaluation actually measures — instructions per request (Fig 13),
+// IL1 miss rate (Fig 9), pages touched and dirty-line density per page
+// (Fig 15), call density and indirect-call dispatch. Every service has
+// the same *vulnerability classes* as its real counterpart: an
+// unchecked copy into a stack buffer, an unchecked config index
+// adjacent to its dispatch table, and request-triggered crash/hang
+// paths (see internal/attack).
+//
+// Request payload layout (shared by all services):
+//
+//	[0]    opcode     — dispatch-table index (masked to table size)
+//	[1]    seed       — selects the per-request code working set
+//	[2:4]  inlineLen  — little-endian declared body length (used,
+//	                    unchecked, by the vulnerable handler)
+//	[4:]   body       — service data; also the attacker's payload
+package workload
+
+import "fmt"
+
+// NumHandlers is the dispatch table size (opcode is masked to this).
+const NumHandlers = 8
+
+// Handler slot assignments.
+const (
+	HBasic  = 0 // parse + state touch + compute (the common path)
+	HVuln   = 1 // unchecked copy into a 64-byte stack buffer
+	HConfig = 2 // config store with unchecked index (dispatch table adjacent)
+	HIO     = 3 // file open/write/close (descriptor churn + sync points)
+	HFork   = 4 // spawns a worker child (resource recovery path)
+	HDoS    = 5 // crash/hang on magic bytes, otherwise light work
+	HMem    = 6 // sbrk + heap touch (memory resource recovery path)
+	HBasic2 = 7 // second common path with a different working set
+)
+
+// VulnBufBytes is the vulnerable handler's stack buffer size; body
+// bytes beyond it overwrite the saved return address.
+const VulnBufBytes = 64
+
+// ConfigSlots is the config array size in words; indices >= ConfigSlots
+// land in the adjacent dispatch table.
+const ConfigSlots = 16
+
+// ReqBufBytes sizes the global request buffer.
+const ReqBufBytes = 2048
+
+// RespBytes is the response length services send.
+const RespBytes = 32
+
+// Params calibrates one synthetic service.
+type Params struct {
+	Name string
+
+	// PayloadBytes is the legitimate request body size (parse cost).
+	PayloadBytes int
+	// PagesTouched and LinesPerPage shape the per-request store
+	// footprint: LinesPerPage of the 128 lines in each touched page are
+	// written (Figure 15's density).
+	PagesTouched int
+	LinesPerPage int
+	// WorkIters is the compute loop trip count (pads the request to the
+	// Figure 13 instruction interval).
+	WorkIters int
+	// CallEvery makes the compute loop issue a call chain every N
+	// iterations (call/return trace density); ChainDepth is the chain's
+	// nesting depth — deep chains produce the bursty call/return
+	// traffic that pressures the trace FIFO (Figure 12).
+	CallEvery  int
+	ChainDepth int
+	// FillerCount static filler functions exist; each request runs
+	// FillersPerReq of them starting at a seed-rotated offset. Their
+	// total size sets the code footprint; the rotation sets the IL1
+	// behaviour (Figure 9).
+	FillerCount   int
+	FillerInstrs  int
+	FillersPerReq int
+	// Weights gives the legitimate request mix over handler slots.
+	Weights [NumHandlers]int
+}
+
+// Scale returns a copy with request-length parameters multiplied by f
+// (payload, pages, iterations). Presets are calibrated at 1/10 of the
+// paper's instruction intervals to keep simulations fast; Scale(10)
+// restores the full-length requests.
+func (p Params) Scale(f float64) Params {
+	s := p
+	mul := func(v int) int {
+		n := int(float64(v) * f)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	s.PayloadBytes = mul(p.PayloadBytes)
+	if s.PayloadBytes > ReqBufBytes-16 {
+		s.PayloadBytes = ReqBufBytes - 16
+	}
+	s.PagesTouched = mul(p.PagesTouched)
+	s.WorkIters = mul(p.WorkIters)
+	s.FillersPerReq = mul(p.FillersPerReq)
+	return s
+}
+
+// presets are calibrated so the six services land near the paper's
+// relative behaviour at 1/10 scale:
+//
+//	Fig 13 (instrs/request): bind shortest (~15k here, ~150k paper);
+//	  sendmail longest (~230k here); others between.
+//	Fig 9 (IL1 miss): ~1-5%, bind highest (large rotated code set over
+//	  short requests).
+//	Fig 15 (dirty lines / lines of touched pages): bind densest (~45%),
+//	  sendmail sparsest (~15%).
+var presets = map[string]Params{
+	"ftpd": {
+		Name: "ftpd", PayloadBytes: 600,
+		PagesTouched: 5, LinesPerPage: 26,
+		WorkIters: 8200, CallEvery: 40, ChainDepth: 8,
+		FillerCount: 220, FillerInstrs: 240, FillersPerReq: 52,
+		Weights: [NumHandlers]int{32, 8, 4, 10, 2, 4, 6, 34},
+	},
+	"httpd": {
+		Name: "httpd", PayloadBytes: 900,
+		PagesTouched: 6, LinesPerPage: 32,
+		WorkIters: 10800, CallEvery: 42, ChainDepth: 9,
+		FillerCount: 300, FillerInstrs: 250, FillersPerReq: 115,
+		Weights: [NumHandlers]int{40, 6, 3, 6, 1, 3, 5, 36},
+	},
+	"bind": {
+		Name: "bind", PayloadBytes: 280,
+		PagesTouched: 8, LinesPerPage: 70,
+		WorkIters: 600, CallEvery: 24, ChainDepth: 7,
+		FillerCount: 240, FillerInstrs: 260, FillersPerReq: 30,
+		Weights: [NumHandlers]int{46, 6, 4, 2, 0, 4, 2, 36},
+	},
+	"sendmail": {
+		Name: "sendmail", PayloadBytes: 1300,
+		PagesTouched: 6, LinesPerPage: 19,
+		WorkIters: 26000, CallEvery: 40, ChainDepth: 8,
+		FillerCount: 360, FillerInstrs: 240, FillersPerReq: 150,
+		Weights: [NumHandlers]int{30, 8, 4, 12, 4, 4, 6, 32},
+	},
+	"imap": {
+		Name: "imap", PayloadBytes: 800,
+		PagesTouched: 5, LinesPerPage: 32,
+		WorkIters: 13000, CallEvery: 42, ChainDepth: 9,
+		FillerCount: 330, FillerInstrs: 250, FillersPerReq: 140,
+		Weights: [NumHandlers]int{36, 8, 4, 8, 2, 4, 4, 34},
+	},
+	"nfs": {
+		Name: "nfs", PayloadBytes: 500,
+		PagesTouched: 4, LinesPerPage: 44,
+		WorkIters: 8200, CallEvery: 40, ChainDepth: 8,
+		FillerCount: 200, FillerInstrs: 240, FillersPerReq: 30,
+		Weights: [NumHandlers]int{34, 6, 3, 14, 2, 4, 8, 29},
+	},
+}
+
+// Names lists the six services in the paper's figure order.
+func Names() []string {
+	return []string{"ftpd", "httpd", "bind", "sendmail", "imap", "nfs"}
+}
+
+// ByName returns the preset for a service.
+func ByName(name string) (Params, error) {
+	p, ok := presets[name]
+	if !ok {
+		return Params{}, fmt.Errorf("workload: unknown service %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// MustByName is ByName for known-good names (experiment harnesses).
+func MustByName(name string) Params {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,502 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"indra/internal/asm"
+)
+
+// Payload field offsets (see the package comment) and the vulnerable
+// handler's stack geometry, shared with internal/attack.
+const (
+	OffOpcode    = 0
+	OffSeed      = 1
+	OffInlineLen = 2 // little-endian uint16
+	OffBody      = 4
+
+	// The vulnerable handler copies body bytes to sp+0 with the saved
+	// return address at sp+VulnSavedLROff; body offset VulnSavedLROff
+	// therefore lands on the saved LR when InlineLen exceeds it.
+	VulnSavedLROff = 72
+	// VulnOverflowLen is the smallest InlineLen that fully overwrites
+	// the saved return address.
+	VulnOverflowLen = VulnSavedLROff + 4
+
+	// DoS magic words (little-endian in body[0:4]).
+	MagicCrash = 0x21534F44 // "DOS!"
+	MagicHang  = 0x474E4148 // "HANG"
+	// MagicLateCrash makes the DoS handler run a full request's worth of
+	// work and state modification before dying — the realistic case
+	// where rollback has a whole request of damage to undo.
+	MagicLateCrash = 0x4554414C // "LATE"
+)
+
+// BuildProgram generates and assembles the service's SRV32 program.
+func (p Params) BuildProgram() (*asm.Program, error) {
+	src := p.GenerateSource()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	return prog, nil
+}
+
+// GenerateSource emits the service's assembly text. Exposed so tests
+// and the srv32asm tool can inspect what is being built.
+func (p Params) GenerateSource() string {
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	w("# synthetic %s service (generated)", p.Name)
+	w(".text")
+	p.genMain(w)
+	p.genHandlers(w)
+	p.genMids(w)
+	p.genLeaves(w)
+	p.genFillers(w)
+	p.genData(w)
+	return b.String()
+}
+
+func (p Params) genMain(w func(string, ...any)) {
+	w("_start:")
+	w("main_loop:")
+	w("  la r1, reqbuf")
+	w("  li r2, %d", ReqBufBytes)
+	w("  sys 2") // recv_request: checkpoint + payload copy-in
+	w("  srli r5, r1, 31")
+	w("  bnez r5, main_done") // negative length: stream drained
+	w("  mv r2, r1")
+	w("  la r5, reqbuf")
+	w("  lbu r6, %d(r5)", OffOpcode)
+	w("  andi r6, r6, %d", NumHandlers-1)
+	w("  slli r6, r6, 2")
+	w("  la r7, table")
+	w("  add r7, r7, r6")
+	w("  lw r8, 0(r7)")
+	w("  mv r1, r2")
+	w("  callr r8") // indirect dispatch: control-transfer inspected
+	// The response carries the computed checksum, so functional
+	// behaviour is observable at the network boundary.
+	w("  la r5, counter")
+	w("  lw r6, 0(r5)")
+	w("  la r7, resp")
+	w("  sw r6, 4(r7)")
+	w("  la r1, resp")
+	w("  li r2, %d", RespBytes)
+	w("  sys 3") // send_response
+	w("  j main_loop")
+	w("main_done:")
+	w("  halt")
+}
+
+func (p Params) genHandlers(w func(string, ...any)) {
+	// HBasic: the common request path.
+	w(".func h_basic")
+	w("h_basic:")
+	w("  push lr")
+	w("  mv r9, r1")
+	w("  la r5, reqbuf")
+	w("  lbu r10, %d(r5)", OffSeed)
+	w("  mv r1, r10")
+	w("  call touch_state")
+	w("  mv r1, r9")
+	w("  call parse")
+	w("  mv r1, r10")
+	w("  call run_fillers")
+	w("  li r1, %d", p.WorkIters)
+	w("  call work")
+	w("  la r5, resp")
+	w("  li r6, 1")
+	w("  sb r6, 0(r5)")
+	w("  pop lr")
+	w("  ret")
+
+	// HVuln: copies InlineLen body bytes into a 64-byte stack buffer.
+	// The length comes straight from the request — the classic
+	// unchecked-copy bug. Saved LR sits at sp+VulnSavedLROff.
+	w(".func h_vuln")
+	w("h_vuln:")
+	w("  addi sp, sp, -80")
+	w("  sw lr, %d(sp)", VulnSavedLROff)
+	w("  la r5, reqbuf")
+	w("  lbu r6, %d(r5)", OffInlineLen)
+	w("  lbu r7, %d(r5)", OffInlineLen+1)
+	w("  slli r7, r7, 8")
+	w("  or r6, r6, r7")
+	w("  addi r8, r5, %d", OffBody)
+	w("  li r9, 0")
+	w("  mv r10, sp")
+	w("hv_copy:")
+	w("  bge r9, r6, hv_done")
+	w("  lbu r11, 0(r8)")
+	w("  sb r11, 0(r10)")
+	w("  addi r8, r8, 1")
+	w("  addi r10, r10, 1")
+	w("  addi r9, r9, 1")
+	w("  j hv_copy")
+	w("hv_done:")
+	w("  lw r5, 0(sp)")
+	w("  lw r6, 4(sp)")
+	w("  add r5, r5, r6")
+	w("  la r7, counter")
+	w("  sw r5, 0(r7)")
+	w("  lw lr, %d(sp)", VulnSavedLROff)
+	w("  addi sp, sp, 80")
+	w("  ret")
+
+	// HConfig: stores a request-supplied word at a request-supplied
+	// config index, unchecked; the dispatch table sits right after the
+	// config array.
+	w(".func h_config")
+	w("h_config:")
+	w("  push lr")
+	w("  la r5, reqbuf")
+	w("  lbu r6, %d(r5)", OffBody)
+	w("  slli r7, r6, 2")
+	w("  la r8, config")
+	w("  add r8, r8, r7")
+	w("  lw r6, %d(r5)", OffBody+4)
+	w("  sw r6, 0(r8)")
+	w("  li r1, 200")
+	w("  call work")
+	w("  pop lr")
+	w("  ret")
+
+	// HIO: descriptor churn, a file write, and a disk DMA round trip —
+	// all synchronisation points (Section 3.2.5).
+	w(".func h_io")
+	w("h_io:")
+	w("  push lr")
+	w("  la r1, iopath")
+	w("  li r2, 1")
+	w("  sys 5") // open append
+	w("  mv r9, r1")
+	w("  mv r1, r9")
+	w("  la r2, resp")
+	w("  li r3, 16")
+	w("  sys 8") // write
+	w("  mv r1, r9")
+	w("  sys 6") // close
+	// Spool some state to disk and read it back through the DMA engine.
+	w("  la r5, diskbuf")
+	w("  la r6, counter")
+	w("  lw r7, 0(r6)")
+	w("  sw r7, 0(r5)")
+	w("  li r1, 0")  // sector
+	w("  mv r2, r5") // buffer
+	w("  li r3, 1")  // sectors
+	w("  sys 16")    // disk write
+	w("  li r1, 0")
+	w("  la r2, diskbuf")
+	w("  li r3, 1")
+	w("  sys 15") // disk read
+	w("  li r1, 400")
+	w("  call work")
+	w("  pop lr")
+	w("  ret")
+
+	// HFork: spawns a worker child (killed on rollback if spawned after
+	// the checkpoint).
+	w(".func h_fork")
+	w("h_fork:")
+	w("  push lr")
+	w("  sys 9")
+	w("  li r1, 300")
+	w("  call work")
+	w("  pop lr")
+	w("  ret")
+
+	// HDoS: crashes or hangs on magic, else light work.
+	w(".func h_dos")
+	w("h_dos:")
+	w("  push lr")
+	w("  la r5, reqbuf")
+	w("  lw r6, %d(r5)", OffBody)
+	w("  li r7, %d", MagicCrash)
+	w("  beq r6, r7, hd_crash")
+	w("  li r7, %d", MagicHang)
+	w("  beq r6, r7, hd_hang")
+	w("  li r7, %d", MagicLateCrash)
+	w("  beq r6, r7, hd_late")
+	w("  li r1, 250")
+	w("  call work")
+	w("  pop lr")
+	w("  ret")
+	w("hd_crash:")
+	w("  halt")
+	w("hd_hang:")
+	w("  j hd_hang")
+	w("hd_late:")
+	w("  li r1, 7")
+	w("  call touch_state")
+	w("  li r1, %d", p.WorkIters/2+1)
+	w("  call work")
+	w("  halt")
+
+	// HMem: heap growth plus touch (memory resource recovery path).
+	w(".func h_mem")
+	w("h_mem:")
+	w("  push lr")
+	w("  li r1, 8192")
+	w("  sys 4") // sbrk
+	w("  mv r9, r1")
+	w("  li r10, 0")
+	w("hm_loop:")
+	w("  slli r5, r10, 5")
+	w("  add r6, r9, r5")
+	w("  sw r10, 0(r6)")
+	w("  addi r10, r10, 1")
+	w("  li r5, 256")
+	w("  blt r10, r5, hm_loop")
+	w("  li r1, 300")
+	w("  call work")
+	w("  pop lr")
+	w("  ret")
+
+	// HBasic2: second common path with a shifted code working set and a
+	// lighter compute phase.
+	w(".func h_basic2")
+	w("h_basic2:")
+	w("  push lr")
+	w("  mv r9, r1")
+	w("  la r5, reqbuf")
+	w("  lbu r10, %d(r5)", OffSeed)
+	w("  addi r10, r10, 37")
+	w("  mv r1, r10")
+	w("  call touch_state")
+	w("  mv r1, r9")
+	w("  call parse")
+	w("  mv r1, r10")
+	w("  call run_fillers")
+	w("  li r1, %d", p.WorkIters*3/4+1)
+	w("  call work")
+	w("  la r5, resp")
+	w("  li r6, 2")
+	w("  sb r6, 0(r5)")
+	w("  pop lr")
+	w("  ret")
+}
+
+func (p Params) genMids(w func(string, ...any)) {
+	// parse(len): byte-wise checksum of the body.
+	w(".func parse")
+	w("parse:")
+	w("  la r2, reqbuf")
+	w("  addi r2, r2, %d", OffBody)
+	w("  li r3, 0")
+	w("  li r4, 0")
+	w("  addi r5, r1, %d", -OffBody)
+	w("ps_loop:")
+	w("  bge r3, r5, ps_done")
+	w("  lbu r6, 0(r2)")
+	w("  add r4, r4, r6")
+	w("  slli r7, r4, 1")
+	w("  xori r7, r7, 29")
+	w("  add r4, r4, r7")
+	w("  addi r2, r2, 1")
+	w("  addi r3, r3, 1")
+	w("  j ps_loop")
+	w("ps_done:")
+	w("  la r6, counter")
+	w("  sw r4, 0(r6)")
+	w("  ret")
+
+	// touch_state(seed): writes LinesPerPage lines in each touched page.
+	w(".func touch_state")
+	w("touch_state:")
+	w("  la r2, state")
+	w("  li r3, 0")
+	w("ts_page:")
+	w("  li r4, 0")
+	w("ts_line:")
+	w("  slli r5, r4, 5")
+	w("  add r6, r2, r5")
+	w("  sw r1, 0(r6)")
+	w("  lw r7, 0(r6)")
+	w("  add r1, r1, r7")
+	w("  addi r4, r4, 1")
+	w("  li r8, %d", p.LinesPerPage)
+	w("  blt r4, r8, ts_line")
+	w("  li r8, 4096")
+	w("  add r2, r2, r8")
+	w("  addi r3, r3, 1")
+	w("  li r8, %d", p.PagesTouched)
+	w("  blt r3, r8, ts_page")
+	w("  ret")
+
+	// work(iters): ALU loop issuing a nested call chain every CallEvery
+	// iterations (bursty call/return trace traffic).
+	w(".func work")
+	w("work:")
+	w("  push lr")
+	w("  mv r5, r1")
+	w("  li r6, 0")
+	w("  li r7, %d", p.CallEvery)
+	w("  mv r8, r7")
+	w("  li r4, 0") // burst counter: every 4th chain doubles
+	w("wk_loop:")
+	w("  beqz r5, wk_done")
+	w("  slli r1, r6, 1")
+	w("  xori r2, r1, 51")
+	w("  add r6, r6, r2")
+	w("  sw r6, -8(sp)") // register spill, as compiled code constantly does:
+	w("  lw r3, -8(sp)") // the same stack words are rewritten every iteration
+	w("  add r6, r6, r3")
+	w("  srli r3, r6, 3")
+	w("  add r6, r6, r3")
+	w("  addi r8, r8, -1")
+	w("  bnez r8, wk_next")
+	w("  mv r8, r7")
+	w("  mv r1, r6")
+	w("  call chain0")
+	w("  add r6, r6, r1")
+	w("  addi r4, r4, 1")
+	w("  andi r2, r4, 3")
+	w("  bnez r2, wk_next")
+	w("  mv r1, r6")
+	w("  call chain0")
+	w("  add r6, r6, r1")
+	w("wk_next:")
+	w("  addi r5, r5, -1")
+	w("  j wk_loop")
+	w("wk_done:")
+	w("  la r1, counter")
+	w("  sw r6, 0(r1)")
+	w("  pop lr")
+	w("  ret")
+
+	// run_fillers(seed): indirect-calls FillersPerReq filler functions
+	// starting at a seed-rotated table offset (the per-request code
+	// working set).
+	w(".func run_fillers")
+	w("run_fillers:")
+	w("  push lr")
+	w("  li r2, %d", p.FillersPerReq)
+	w("  mul r5, r1, r2")
+	w("  li r6, %d", p.FillerCount)
+	w("  rem r5, r5, r6")
+	w("  mv r6, r2")
+	w("rf_loop:")
+	w("  beqz r6, rf_done")
+	w("  li r7, 17") // stride: spread consecutive fillers across pages
+	w("  mul r8, r5, r7")
+	w("  li r7, %d", p.FillerCount)
+	w("  rem r8, r8, r7")
+	w("  slli r8, r8, 2")
+	w("  la r7, ftable")
+	w("  add r7, r7, r8")
+	w("  lw r8, 0(r7)")
+	w("  callr r8")
+	w("  addi r5, r5, 1")
+	w("  addi r6, r6, -1")
+	w("  j rf_loop")
+	w("rf_done:")
+	w("  pop lr")
+	w("  ret")
+}
+
+func (p Params) genLeaves(w func(string, ...any)) {
+	w(".func leaf_mix")
+	w("leaf_mix:")
+	w("  slli r2, r1, 2")
+	w("  add r1, r1, r2")
+	w("  xori r1, r1, 1234")
+	w("  srli r3, r1, 5")
+	w("  add r1, r1, r3")
+	w("  ret")
+
+	// The call chain: chain0 -> chain1 -> ... -> leaf_mix. Each level
+	// is a tiny non-leaf frame, so one chain emits 2*ChainDepth
+	// call/return records back to back.
+	depth := p.ChainDepth
+	if depth < 1 {
+		depth = 1
+	}
+	for k := 0; k < depth; k++ {
+		w(".func chain%d", k)
+		w("chain%d:", k)
+		w("  push lr")
+		w("  addi r1, r1, %d", k+1)
+		if k == depth-1 {
+			w("  call leaf_mix")
+		} else {
+			w("  call chain%d", k+1)
+		}
+		w("  pop lr")
+		w("  ret")
+	}
+}
+
+// genFillers emits the static code body: FillerCount straight-line
+// leaf functions of about FillerInstrs instructions each. Constants
+// vary per function so the code is not trivially compressible and per
+// line fetch patterns differ.
+func (p Params) genFillers(w func(string, ...any)) {
+	ops := []string{
+		"  addi r1, r1, %d",
+		"  slli r2, r1, 1",
+		"  xori r3, r2, %d",
+		"  add r4, r3, r1",
+		"  srli r1, r4, 2",
+		"  ori r2, r1, %d",
+		"  sub r3, r2, r4",
+		"  and r4, r3, r2",
+	}
+	for i := 0; i < p.FillerCount; i++ {
+		w(".func f%d", i)
+		w(".export f%d", i)
+		w("f%d:", i)
+		for n := 0; n < p.FillerInstrs; n++ {
+			op := ops[(n+i)%len(ops)]
+			if strings.Contains(op, "%d") {
+				w(op, (i*31+n*7)%251+1)
+			} else {
+				w(op)
+			}
+		}
+		w("  ret")
+	}
+}
+
+func (p Params) genData(w func(string, ...any)) {
+	w(".data")
+	w(".align 4")
+	w("counter: .word 0")
+	w("iopath: .asciiz %q", "spool/"+p.Name+".out")
+	w(".align 4")
+	// config immediately precedes the dispatch table: an unchecked
+	// config index overwrites handler pointers, as in real layouts
+	// where function pointer tables neighbour writable state.
+	w("config: .space %d", ConfigSlots*4)
+	w("table:")
+	w("  .word h_basic, h_vuln, h_config, h_io, h_fork, h_dos, h_mem, h_basic2")
+	w("ftable:")
+	names := make([]string, p.FillerCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	for i := 0; i < len(names); i += 8 {
+		end := i + 8
+		if end > len(names) {
+			end = len(names)
+		}
+		w("  .word %s", strings.Join(names[i:end], ", "))
+	}
+	w(".align 512")
+	w("diskbuf: .space 512")
+	w(".align 32")
+	w("reqbuf: .space %d", ReqBufBytes)
+	w("resp: .space %d", RespBytes)
+	w(".align 4096")
+	w("state: .space %d", p.PagesTouched*4096)
+
+	// Mark the handlers as exported entry points (legitimate indirect
+	// call targets) in addition to .func.
+	for _, h := range []string{"h_basic", "h_vuln", "h_config", "h_io", "h_fork", "h_dos", "h_mem", "h_basic2"} {
+		w(".export %s", h)
+	}
+}

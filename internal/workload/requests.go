@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"indra/internal/netsim"
+)
+
+// rng is a small deterministic xorshift32 so request streams are
+// reproducible without pulling in math/rand state.
+type rng uint32
+
+func newRNG(seed uint32) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B9
+	}
+	r := rng(seed)
+	return &r
+}
+
+func (r *rng) next() uint32 {
+	x := uint32(*r)
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint32(n)) }
+
+// pickHandler draws a handler slot from the workload's weight table.
+func (p Params) pickHandler(r *rng) int {
+	total := 0
+	for _, w := range p.Weights {
+		total += w
+	}
+	if total == 0 {
+		return HBasic
+	}
+	x := r.intn(total)
+	for slot, w := range p.Weights {
+		if x < w {
+			return slot
+		}
+		x -= w
+	}
+	return HBasic
+}
+
+// NewRequest builds one well-formed request for a handler slot. The
+// body is pseudo-random but safe: the inline length always fits the
+// vulnerable buffer, config indices stay inside the config array, and
+// DoS magic never appears.
+func (p Params) NewRequest(r *rng, slot int) netsim.Request {
+	n := OffBody + p.PayloadBytes
+	payload := make([]byte, n)
+	payload[OffOpcode] = byte(slot)
+	payload[OffSeed] = byte(r.next())
+	// Safe inline length: at most the buffer size.
+	binary.LittleEndian.PutUint16(payload[OffInlineLen:], uint16(r.intn(VulnBufBytes)))
+	for i := OffBody; i < n; i++ {
+		payload[i] = byte(r.next())
+	}
+	// Keep config handler requests inside the config array.
+	payload[OffBody] = byte(r.intn(ConfigSlots))
+	// Scrub accidental DoS magic.
+	if binary.LittleEndian.Uint32(payload[OffBody:]) == MagicCrash ||
+		binary.LittleEndian.Uint32(payload[OffBody:]) == MagicHang {
+		payload[OffBody+1] ^= 0xFF
+	}
+	return netsim.Request{Payload: payload, Label: "legit"}
+}
+
+// GenRequests produces n well-formed requests drawn from the service's
+// handler mix, deterministically from seed.
+func (p Params) GenRequests(n int, seed uint32) []netsim.Request {
+	r := newRNG(seed)
+	out := make([]netsim.Request, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.NewRequest(r, p.pickHandler(r)))
+	}
+	return out
+}
+
+// GenUniformRequests produces n requests that all hit one handler slot
+// (experiment control).
+func (p Params) GenUniformRequests(n int, slot int, seed uint32) []netsim.Request {
+	r := newRNG(seed)
+	out := make([]netsim.Request, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.NewRequest(r, slot))
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestAllServicesAssemble(t *testing.T) {
+	for _, name := range Names() {
+		p := MustByName(name)
+		prog, err := p.BuildProgram()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Every handler is a function and exported.
+		for _, h := range []string{"h_basic", "h_vuln", "h_config", "h_io", "h_fork", "h_dos", "h_mem", "h_basic2"} {
+			addr, ok := prog.Symbols[h]
+			if !ok {
+				t.Fatalf("%s: missing handler %s", name, h)
+			}
+			if prog.Funcs[addr] == "" {
+				t.Errorf("%s: %s not a .func", name, h)
+			}
+			if prog.Exports[addr] == "" {
+				t.Errorf("%s: %s not exported", name, h)
+			}
+		}
+		// Fillers exist and are exported (indirect call targets).
+		for i := 0; i < p.FillerCount; i += p.FillerCount / 4 {
+			sym := prog.Symbols
+			if _, ok := sym[fillerName(i)]; !ok {
+				t.Fatalf("%s: missing filler %d", name, i)
+			}
+		}
+		// Data symbols the attacks rely on.
+		for _, s := range []string{"reqbuf", "resp", "config", "table", "ftable", "state", "counter"} {
+			if _, ok := prog.Symbols[s]; !ok {
+				t.Fatalf("%s: missing data symbol %s", name, s)
+			}
+		}
+		// The config array must immediately precede the dispatch table
+		// (the fptr-hijack attack's layout assumption).
+		if prog.Symbols["table"] != prog.Symbols["config"]+ConfigSlots*4 {
+			t.Fatalf("%s: table not adjacent to config", name)
+		}
+		// Text must not overlap data.
+		if prog.TextEnd() > prog.DataBase {
+			t.Fatalf("%s: text (%#x) overruns data base (%#x)", name, prog.TextEnd(), prog.DataBase)
+		}
+	}
+}
+
+func fillerName(i int) string { return "f" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func TestGenRequestsDeterministic(t *testing.T) {
+	p := MustByName("httpd")
+	a := p.GenRequests(20, 7)
+	b := p.GenRequests(20, 7)
+	if len(a) != 20 {
+		t.Fatal("count")
+	}
+	for i := range a {
+		if string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+	c := p.GenRequests(20, 8)
+	same := 0
+	for i := range a {
+		if string(a[i].Payload) == string(c[i].Payload) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestLegitRequestsAreSafe(t *testing.T) {
+	for _, name := range Names() {
+		p := MustByName(name)
+		for _, rq := range p.GenRequests(300, 3) {
+			pl := rq.Payload
+			if int(pl[OffOpcode]) >= NumHandlers {
+				t.Fatalf("%s: opcode %d out of range", name, pl[OffOpcode])
+			}
+			inline := binary.LittleEndian.Uint16(pl[OffInlineLen:])
+			if inline >= VulnBufBytes {
+				t.Fatalf("%s: legit inline length %d can overflow", name, inline)
+			}
+			if pl[OffOpcode] == HConfig && int(pl[OffBody]) >= ConfigSlots {
+				t.Fatalf("%s: legit config index %d out of array", name, pl[OffBody])
+			}
+			magic := binary.LittleEndian.Uint32(pl[OffBody:])
+			if magic == MagicCrash || magic == MagicHang || magic == MagicLateCrash {
+				t.Fatalf("%s: legit request carries DoS magic", name)
+			}
+			if rq.Label != "legit" {
+				t.Fatalf("label %q", rq.Label)
+			}
+		}
+	}
+}
+
+func TestUniformRequests(t *testing.T) {
+	p := MustByName("bind")
+	for _, rq := range p.GenUniformRequests(10, HVuln, 1) {
+		if rq.Payload[OffOpcode] != HVuln {
+			t.Fatal("uniform slot violated")
+		}
+	}
+}
+
+func TestWeightedMixCoversHandlers(t *testing.T) {
+	p := MustByName("sendmail")
+	seen := map[byte]int{}
+	for _, rq := range p.GenRequests(500, 5) {
+		seen[rq.Payload[OffOpcode]]++
+	}
+	// Every positively-weighted handler appears in a long stream.
+	for slot, w := range p.Weights {
+		if w > 0 && seen[byte(slot)] == 0 {
+			t.Errorf("handler %d (weight %d) never drawn", slot, w)
+		}
+	}
+	// HBasic/HBasic2 dominate.
+	if seen[HBasic]+seen[HBasic2] < 250 {
+		t.Errorf("common path underrepresented: %v", seen)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := MustByName("ftpd")
+	s := p.Scale(10)
+	if s.WorkIters != p.WorkIters*10 || s.PagesTouched != p.PagesTouched*10 {
+		t.Fatal("scale up")
+	}
+	if s.PayloadBytes > ReqBufBytes-16 {
+		t.Fatal("payload must stay within the request buffer")
+	}
+	tiny := p.Scale(0.0001)
+	if tiny.WorkIters < 1 || tiny.PagesTouched < 1 {
+		t.Fatal("scale floor")
+	}
+	// Scaled programs still assemble.
+	if _, err := p.Scale(2).BuildProgram(); err != nil {
+		t.Fatalf("scaled build: %v", err)
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("quake"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName should panic")
+		}
+	}()
+	MustByName("quake")
+}
+
+func TestNamesOrder(t *testing.T) {
+	want := []string{"ftpd", "httpd", "bind", "sendmail", "imap", "nfs"}
+	got := Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names %v", got)
+		}
+	}
+}

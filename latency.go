@@ -1,0 +1,81 @@
+package indra
+
+import (
+	"fmt"
+	"strings"
+
+	"indra/internal/attack"
+	"indra/internal/chip"
+	"indra/internal/netsim"
+)
+
+// Detection latency: how long a malicious request lives — from its
+// delivery to the completed rollback. The paper's timing argument
+// (Section 3.2.5) bounds the monitor's lag by the FIFO depth and the
+// sync rule; this experiment measures the end-to-end consequence.
+
+// LatencyRow is one attack class's detection + recovery latency.
+type LatencyRow struct {
+	Attack attack.Kind
+	// Cycles from request delivery to completed rollback.
+	Cycles uint64
+	// ShareOfRequest relates the latency to a normal request's
+	// response time (how much malicious work runs before containment).
+	ShareOfRequest float64
+}
+
+// LatencyResult measures per-class detection+recovery latency.
+type LatencyResult struct {
+	Service string
+	MeanRT  float64 // mean legit response time for reference
+	Rows    []LatencyRow
+}
+
+// DetectionLatency runs each attack class against a service and
+// measures the malicious request's lifetime.
+func DetectionLatency(o ExpOptions) (*LatencyResult, error) {
+	o = o.fill()
+	const service = "httpd"
+	res := &LatencyResult{Service: service}
+
+	for _, kind := range attack.Kinds() {
+		cfg := chip.DefaultConfig()
+		cfg.Recovery.InstrBudget = 1_000_000
+		run, err := RunService(service, Options{
+			Chip:        &cfg,
+			Requests:    3,
+			Scale:       o.Scale,
+			Seed:        o.Seed,
+			Attacks:     []attack.Kind{kind},
+			AttackAfter: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.MeanRT = run.Summary.MeanRT
+		for _, rec := range run.Port.Records() {
+			if rec.Outcome != netsim.Aborted {
+				continue
+			}
+			row := LatencyRow{Attack: kind, Cycles: rec.RespondAt - rec.RecvAt}
+			if res.MeanRT > 0 {
+				row.ShareOfRequest = float64(row.Cycles) / res.MeanRT
+			}
+			res.Rows = append(res.Rows, row)
+			break // first aborted request is the injected exploit
+		}
+	}
+	return res, nil
+}
+
+// Format renders the latencies.
+func (r *LatencyResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detection + rollback latency per exploit class (%s; mean legit RT %.0f cyc)\n",
+		r.Service, r.MeanRT)
+	fmt.Fprintf(&b, "%-14s %14s %16s\n", "attack", "cycles", "vs legit req")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %14d %15.2fx\n", row.Attack, row.Cycles, row.ShareOfRequest)
+	}
+	return b.String()
+}

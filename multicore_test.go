@@ -1,0 +1,122 @@
+package indra
+
+import (
+	"testing"
+
+	"indra/internal/attack"
+	"indra/internal/chip"
+	"indra/internal/netsim"
+	"indra/internal/workload"
+)
+
+// TestTwoResurrecteesOneResurrector runs two different services on two
+// resurrectee cores concurrently, with the single resurrector
+// monitoring both (the paper's general configuration: one or more
+// privileged cores monitoring "the rest of the processor cores").
+func TestTwoResurrecteesOneResurrector(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	cfg.Resurrectees = 2
+	ch, err := chip.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	launch := func(slot int, name string, n int) *netsim.Port {
+		params := workload.MustByName(name)
+		prog, err := params.BuildProgram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		port := netsim.NewPort(params.GenRequests(n, uint32(10+slot)))
+		if _, err := ch.LaunchService(slot, name, prog, port); err != nil {
+			t.Fatal(err)
+		}
+		return port
+	}
+	p0 := launch(0, "bind", 3)
+	p1 := launch(1, "nfs", 2)
+
+	res, err := ch.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("run did not drain both streams")
+	}
+	if s := p0.Summarize(); s.Served != 3 {
+		t.Fatalf("bind on core 1: %+v", s)
+	}
+	if s := p1.Summarize(); s.Served != 2 {
+		t.Fatalf("nfs on core 2: %+v", s)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("violations on legit traffic: %d", res.Violations)
+	}
+	// Both cores made progress.
+	if ch.Core(0).Stats().Instret == 0 || ch.Core(1).Stats().Instret == 0 {
+		t.Fatal("a core did not execute")
+	}
+	// The monitor tracked both processes separately.
+	if _, ok := ch.Monitor().App(ch.Process(0).PID); !ok {
+		t.Fatal("slot 0 app unregistered")
+	}
+	if _, ok := ch.Monitor().App(ch.Process(1).PID); !ok {
+		t.Fatal("slot 1 app unregistered")
+	}
+	if ch.Process(0).PID == ch.Process(1).PID {
+		t.Fatal("processes share a PID")
+	}
+}
+
+// TestAttackOnOneCoreLeavesOtherUnharmed: an exploit against the
+// service on core 1 must not disturb the service on core 2.
+func TestAttackOnOneCoreLeavesOtherUnharmed(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	cfg.Resurrectees = 2
+	ch, err := chip.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := workload.MustByName("bind")
+	victimProg, err := victim.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smash, err := attack.NewStackSmash(victimProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit := victim.GenRequests(2, 3)
+	vPort := netsim.NewPort([]netsim.Request{legit[0], smash, legit[1]})
+	if _, err := ch.LaunchService(0, "bind", victimProg, vPort); err != nil {
+		t.Fatal(err)
+	}
+
+	bystander := workload.MustByName("nfs")
+	bProg, err := bystander.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPort := netsim.NewPort(bystander.GenRequests(3, 4))
+	if _, err := ch.LaunchService(1, "nfs", bProg, bPort); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ch.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Violations()) == 0 {
+		t.Fatal("attack undetected")
+	}
+	if s := vPort.Summarize(); s.Served != 2 || s.Aborted != 1 {
+		t.Fatalf("victim service: %+v", s)
+	}
+	if s := bPort.Summarize(); s.Served != 3 {
+		t.Fatalf("bystander service disturbed: %+v", s)
+	}
+	// The recovery must have hit only the victim's process.
+	if ch.Recovery().Stats().MicroRecoveries != 1 {
+		t.Fatalf("recoveries %+v", ch.Recovery().Stats())
+	}
+}

@@ -1,0 +1,67 @@
+package indra
+
+import (
+	"testing"
+
+	"indra/internal/attack"
+)
+
+// TestSmokeBasicService boots the default platform and serves a small
+// legitimate request stream end to end.
+func TestSmokeBasicService(t *testing.T) {
+	run, err := RunService("bind", Options{Requests: 3})
+	if err != nil {
+		t.Fatalf("RunService: %v", err)
+	}
+	if run.Summary.Served != 3 {
+		t.Fatalf("served %d of 3 requests: %+v", run.Summary.Served, run.Summary)
+	}
+	if got := len(run.Violations()); got != 0 {
+		t.Fatalf("unexpected violations on legit traffic: %v", run.Violations())
+	}
+	if run.Summary.MeanRT == 0 {
+		t.Fatal("zero response time")
+	}
+	t.Logf("instret=%d cycles=%d meanRT=%.0f", run.Result.Instret, run.Result.Cycles, run.Summary.MeanRT)
+}
+
+// TestSmokeAttackRecovery injects a stack smash between legit requests
+// and checks detection plus continued service.
+func TestSmokeAttackRecovery(t *testing.T) {
+	run, err := RunService("bind", Options{Requests: 4, Attacks: []attack.Kind{attack.StackSmash}})
+	if err != nil {
+		t.Fatalf("RunService: %v", err)
+	}
+	if len(run.Violations()) == 0 {
+		t.Fatal("stack smash was not detected")
+	}
+	if run.Summary.Served != 4 {
+		t.Fatalf("legit requests served = %d, want 4 (summary %+v)", run.Summary.Served, run.Summary)
+	}
+	if run.Summary.Aborted != 1 {
+		t.Fatalf("aborted = %d, want 1", run.Summary.Aborted)
+	}
+	if run.Recovery().MicroRecoveries == 0 {
+		t.Fatal("no micro recovery recorded")
+	}
+}
+
+// TestPaperScaleSmoke runs one service at the paper's full request
+// length (scale 10) to confirm the calibrated presets extrapolate.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run is not short")
+	}
+	run, err := RunService("bind", Options{Requests: 2, Scale: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Summary.Served != 2 {
+		t.Fatalf("served %+v", run.Summary)
+	}
+	per := float64(run.Chip.Core(0).Stats().Instret) / 2
+	// The paper's bind interval is ~150k instructions.
+	if per < 80_000 || per > 400_000 {
+		t.Fatalf("paper-scale bind interval %.0f", per)
+	}
+}
