@@ -9,6 +9,7 @@ import (
 	"indra/internal/chip"
 	"indra/internal/monitor"
 	"indra/internal/netsim"
+	"indra/internal/parallel"
 	"indra/internal/trace"
 	"indra/internal/workload"
 )
@@ -16,6 +17,10 @@ import (
 // Ablation studies for the design choices DESIGN.md calls out. These
 // go beyond the paper's figures: they sweep the parameters the paper
 // fixed, showing *why* the published design points were chosen.
+//
+// Like the figure/table experiments, every sweep point is an
+// independent simulation cell fanned out on the ExpOptions worker pool
+// and merged in input order (see experiments.go).
 
 // ---------------------------------------------------- backup line size
 
@@ -36,37 +41,50 @@ type AblationLineResult struct {
 	Rows    []AblationLineRow
 }
 
-// AblationLineSize runs the sweep on one service.
+// AblationLineSize runs the sweep on one service. Cell 0 (LineBytes 0)
+// is the no-backup baseline; the rest are the granularity points.
 func AblationLineSize(o ExpOptions) (*AblationLineResult, error) {
 	o = o.fill()
 	const service = "httpd"
-	res := &AblationLineResult{Service: service}
 
-	baseCfg := chip.DefaultConfig()
-	baseCfg.Monitoring = false
-	baseCfg.Scheme = chip.SchemeNone
-	base, err := RunService(service, o.runOpts(baseCfg))
+	type out struct {
+		row    AblationLineRow
+		meanRT float64
+	}
+	cells := []uint32{0, 32, 64, 128, 256, 1024, 4096}
+	outs, err := parallel.Run(o.pool(), cells, func(_ int, lb uint32) (out, error) {
+		cfg := chip.DefaultConfig()
+		cfg.Monitoring = false
+		if lb == 0 {
+			cfg.Scheme = chip.SchemeNone
+		} else {
+			cfg.Checkpoint.LineBytes = lb
+		}
+		run, err := RunService(service, o.runOpts(cfg))
+		if err != nil {
+			return out{}, err
+		}
+		if lb == 0 {
+			return out{meanRT: run.Summary.MeanRT}, nil
+		}
+		st := run.Process().Ckpt.(*checkpoint.Engine).Stats()
+		return out{
+			row: AblationLineRow{
+				LineBytes:    lb,
+				BackupCycles: st.BackupCycles / uint64(run.Summary.Served),
+				BackupBytes:  st.LineBackups * uint64(lb) / uint64(run.Summary.Served),
+			},
+			meanRT: run.Summary.MeanRT,
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	for _, lb := range []uint32{32, 64, 128, 256, 1024, 4096} {
-		cfg := chip.DefaultConfig()
-		cfg.Monitoring = false
-		cfg.Checkpoint.LineBytes = lb
-		run, err := RunService(service, o.runOpts(cfg))
-		if err != nil {
-			return nil, err
-		}
-		eng := run.Process().Ckpt.(*checkpoint.Engine)
-		st := eng.Stats()
-		row := AblationLineRow{
-			LineBytes:    lb,
-			BackupCycles: st.BackupCycles / uint64(run.Summary.Served),
-			BackupBytes:  st.LineBackups * uint64(lb) / uint64(run.Summary.Served),
-			Slowdown:     run.Summary.MeanRT / base.Summary.MeanRT,
-		}
-		res.Rows = append(res.Rows, row)
+	res := &AblationLineResult{Service: service}
+	baseRT := outs[0].meanRT
+	for _, c := range outs[1:] {
+		c.row.Slowdown = c.meanRT / baseRT
+		res.Rows = append(res.Rows, c.row)
 	}
 	return res, nil
 }
@@ -102,13 +120,12 @@ type AblationCAMResult struct {
 func AblationCAM(o ExpOptions) (*AblationCAMResult, error) {
 	o = o.fill()
 	const service = "bind" // highest IL1 miss rate: the stress case
-	res := &AblationCAMResult{Service: service}
-	for _, size := range []int{0, 8, 16, 32, 64, 128} {
+	rows, err := parallel.Run(o.pool(), []int{0, 8, 16, 32, 64, 128}, func(_ int, size int) (AblationCAMRow, error) {
 		cfg := chip.DefaultConfig()
 		cfg.CAMSize = size
 		run, err := RunService(service, o.runOpts(cfg))
 		if err != nil {
-			return nil, err
+			return AblationCAMRow{}, err
 		}
 		cs := run.Chip.Core(0).Stats()
 		row := AblationCAMRow{Entries: size}
@@ -116,9 +133,12 @@ func AblationCAM(o ExpOptions) (*AblationCAMResult, error) {
 			row.RemainPct = float64(cs.OriginChecks) / float64(cs.IL1Fills) * 100
 		}
 		row.MonitorLoad = run.Chip.Monitor().Stats().Records[trace.KindCodeOrigin] * cfg.MonitorCosts.Origin
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationCAMResult{Service: service, Rows: rows}, nil
 }
 
 // Format renders the sweep.
@@ -148,36 +168,41 @@ type AblationMonitorResult struct {
 	Rows    []AblationMonitorRow
 }
 
-// AblationMonitorSpeed runs the sweep.
+// AblationMonitorSpeed runs the sweep. Cell 0 (multiplier 0) is the
+// unmonitored baseline.
 func AblationMonitorSpeed(o ExpOptions) (*AblationMonitorResult, error) {
 	o = o.fill()
 	const service = "imap"
-	res := &AblationMonitorResult{Service: service}
 
-	baseCfg := chip.DefaultConfig()
-	baseCfg.Monitoring = false
-	baseCfg.Scheme = chip.SchemeNone
-	base, err := RunService(service, o.runOpts(baseCfg))
-	if err != nil {
-		return nil, err
-	}
-
-	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+	cells := []float64{0, 0.25, 0.5, 1, 2, 4}
+	rts, err := parallel.Run(o.pool(), cells, func(_ int, mult float64) (float64, error) {
 		cfg := chip.DefaultConfig()
 		cfg.Scheme = chip.SchemeNone
-		c := monitor.DefaultCosts()
-		scale := func(v uint64) uint64 { return uint64(float64(v) * mult) }
-		cfg.MonitorCosts = monitor.CostConfig{
-			Call: scale(c.Call), Return: scale(c.Return),
-			Origin: scale(c.Origin), Control: scale(c.Control), Setjmp: scale(c.Setjmp),
+		if mult == 0 {
+			cfg.Monitoring = false
+		} else {
+			c := monitor.DefaultCosts()
+			scale := func(v uint64) uint64 { return uint64(float64(v) * mult) }
+			cfg.MonitorCosts = monitor.CostConfig{
+				Call: scale(c.Call), Return: scale(c.Return),
+				Origin: scale(c.Origin), Control: scale(c.Control), Setjmp: scale(c.Setjmp),
+			}
 		}
 		run, err := RunService(service, o.runOpts(cfg))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return run.Summary.MeanRT, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationMonitorResult{Service: service}
+	baseRT := rts[0]
+	for i, mult := range cells[1:] {
 		res.Rows = append(res.Rows, AblationMonitorRow{
 			CostMultiplier: mult,
-			OverheadPct:    (run.Summary.MeanRT/base.Summary.MeanRT - 1) * 100,
+			OverheadPct:    (rts[i+1]/baseRT - 1) * 100,
 		})
 	}
 	return res, nil
@@ -251,13 +276,16 @@ func AblationRollback(o ExpOptions) (*AblationRollbackResult, error) {
 		return result.Cycles, eng.Stats().LineRestores, nil
 	}
 
-	var err error
-	if res.DeferredCycles, res.DeferredOps, err = run(false); err != nil {
+	type out struct{ cycles, ops uint64 }
+	outs, err := parallel.Run(o.pool(), []bool{false, true}, func(_ int, eager bool) (out, error) {
+		cycles, ops, err := run(eager)
+		return out{cycles, ops}, err
+	})
+	if err != nil {
 		return nil, err
 	}
-	if res.EagerCycles, res.EagerOps, err = run(true); err != nil {
-		return nil, err
-	}
+	res.DeferredCycles, res.DeferredOps = outs[0].cycles, outs[0].ops
+	res.EagerCycles, res.EagerOps = outs[1].cycles, outs[1].ops
 	return res, nil
 }
 
@@ -291,23 +319,25 @@ type AblationSpaceRow struct {
 // AblationSpace measures backup page counts per service.
 func AblationSpace(o ExpOptions) (*AblationSpaceResult, error) {
 	o = o.fill()
-	res := &AblationSpaceResult{}
-	for _, name := range workload.Names() {
+	rows, err := forEachService(o, func(name string) (AblationSpaceRow, error) {
 		run, err := RunService(name, o.runOpts(chip.DefaultConfig()))
 		if err != nil {
-			return nil, err
+			return AblationSpaceRow{}, err
 		}
 		eng := run.Process().Ckpt.(*checkpoint.Engine)
 		tracked := eng.TrackedPages()
 		mapped := run.Process().AS.Pages()
-		res.Rows = append(res.Rows, AblationSpaceRow{
+		return AblationSpaceRow{
 			Service:      name,
 			TrackedPages: tracked,
 			MappedPages:  mapped,
 			OverheadPct:  float64(tracked) / float64(mapped) * 100,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationSpaceResult{Rows: rows}, nil
 }
 
 // Format renders the table.
@@ -370,15 +400,13 @@ func AblationResurrectors(o ExpOptions) (*AblationResurrectorsResult, error) {
 		}
 		return res.Cycles, nil
 	}
-	out := &AblationResurrectorsResult{}
-	var err error
-	if out.OneResCycles, err = run(1); err != nil {
+	cycles, err := parallel.Run(o.pool(), []int{1, 2}, func(_ int, resurrectors int) (uint64, error) {
+		return run(resurrectors)
+	})
+	if err != nil {
 		return nil, err
 	}
-	if out.TwoResCycles, err = run(2); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return &AblationResurrectorsResult{OneResCycles: cycles[0], TwoResCycles: cycles[1]}, nil
 }
 
 // Format renders the comparison.
@@ -411,24 +439,26 @@ type AblationBPredResult struct {
 func AblationBPred(o ExpOptions) (*AblationBPredResult, error) {
 	o = o.fill()
 	const service = "httpd"
-	res := &AblationBPredResult{Service: service}
-	for _, entries := range []int{0, 64, 512, 2048, 8192} {
+	rows, err := parallel.Run(o.pool(), []int{0, 64, 512, 2048, 8192}, func(_ int, entries int) (AblationBPredRow, error) {
 		cfg := chip.DefaultConfig()
 		cfg.Monitoring = false
 		cfg.Scheme = chip.SchemeNone
 		cfg.BPredEntries = entries
 		run, err := RunService(service, o.runOpts(cfg))
 		if err != nil {
-			return nil, err
+			return AblationBPredRow{}, err
 		}
 		cs := run.Chip.Core(0).Stats()
-		res.Rows = append(res.Rows, AblationBPredRow{
+		return AblationBPredRow{
 			Entries:     entries,
 			CPI:         float64(cs.Cycles) / float64(cs.Instret),
 			AccuracyPct: run.Chip.Core(0).BPred().Accuracy() * 100,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationBPredResult{Service: service, Rows: rows}, nil
 }
 
 // Format renders the sweep.

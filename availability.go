@@ -7,6 +7,7 @@ import (
 	"indra/internal/attack"
 	"indra/internal/chip"
 	"indra/internal/netsim"
+	"indra/internal/parallel"
 	"indra/internal/workload"
 )
 
@@ -33,51 +34,55 @@ type AvailabilityResult struct {
 	Rows    []AvailabilityRow
 }
 
-// Availability runs the comparison.
+// Availability runs the comparison; the two strategies are independent
+// cells, each building its own program and attack-laced stream.
 func Availability(o ExpOptions) (*AvailabilityResult, error) {
 	o = o.fill()
 	const service = "bind"
-	res := &AvailabilityResult{Service: service}
 
-	params := workload.MustByName(service)
-	if o.Scale != 1.0 {
-		params = params.Scale(o.Scale)
+	type cell struct {
+		strategy string
+		mutate   func(*chip.Config)
 	}
-	prog, err := params.BuildProgram()
-	if err != nil {
-		return nil, err
+	cells := []cell{
+		{"indra-micro", func(c *chip.Config) {}},
+		{"reboot", func(c *chip.Config) {
+			c.Scheme = chip.SchemeNone
+			c.RebootRecovery = true
+		}},
 	}
-	legit := params.GenRequests(o.Requests, o.Seed)
-	smash, err := attack.NewStackSmash(prog)
-	if err != nil {
-		return nil, err
-	}
-	build := func() []netsim.Request {
+	rows, err := parallel.Run(o.pool(), cells, func(_ int, c cell) (AvailabilityRow, error) {
+		params := workload.MustByName(service)
+		if o.Scale != 1.0 {
+			params = params.Scale(o.Scale)
+		}
+		prog, err := params.BuildProgram()
+		if err != nil {
+			return AvailabilityRow{}, err
+		}
+		smash, err := attack.NewStackSmash(prog)
+		if err != nil {
+			return AvailabilityRow{}, err
+		}
 		var stream []netsim.Request
-		for _, rq := range legit {
-			cp := rq
-			cp.Payload = append([]byte(nil), rq.Payload...)
+		for _, rq := range params.GenRequests(o.Requests, o.Seed) {
 			a := smash
 			a.Payload = append([]byte(nil), smash.Payload...)
-			stream = append(stream, a, cp) // attack, legit, attack, legit...
+			stream = append(stream, a, rq) // attack, legit, attack, legit...
 		}
-		return stream
-	}
-
-	run := func(strategy string, mutate func(*chip.Config)) error {
 		cfg := chip.DefaultConfig()
-		mutate(&cfg)
+		c.mutate(&cfg)
 		ch, err := chip.New(cfg)
 		if err != nil {
-			return err
+			return AvailabilityRow{}, err
 		}
-		port := netsim.NewPort(build())
+		port := netsim.NewPort(stream)
 		if _, err := ch.LaunchService(0, service, prog, port); err != nil {
-			return err
+			return AvailabilityRow{}, err
 		}
 		result, err := ch.Run(0)
 		if err != nil {
-			return err
+			return AvailabilityRow{}, err
 		}
 		served, total := 0, 0
 		for _, r := range port.Records() {
@@ -89,26 +94,18 @@ func Availability(o ExpOptions) (*AvailabilityResult, error) {
 				served++
 			}
 		}
-		res.Rows = append(res.Rows, AvailabilityRow{
-			Strategy:     strategy,
+		return AvailabilityRow{
+			Strategy:     c.strategy,
 			LegitServed:  served,
 			LegitTotal:   total,
 			TotalCycles:  result.Cycles,
 			Availability: float64(served) / float64(total),
-		})
-		return nil
-	}
-
-	if err := run("indra-micro", func(c *chip.Config) {}); err != nil {
+		}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("reboot", func(c *chip.Config) {
-		c.Scheme = chip.SchemeNone
-		c.RebootRecovery = true
-	}); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &AvailabilityResult{Service: service, Rows: rows}, nil
 }
 
 // Format renders the comparison.

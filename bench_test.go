@@ -1,7 +1,10 @@
 package indra
 
 import (
+	"runtime"
 	"testing"
+
+	"indra/internal/parallel"
 )
 
 // One benchmark per table and figure of the paper's evaluation. Each
@@ -214,6 +217,73 @@ func BenchmarkAvailability(b *testing.B) {
 	}
 	b.ReportMetric(indraAvail*100, "indra-avail-%")
 	b.ReportMetric(rebootAvail*100, "reboot-avail-%")
+}
+
+// ------------------------------------------- full-suite speedup guard
+
+// fullSuite regenerates every figure and table once with the given
+// worker count, returning the runner's cell/timing stats.
+func fullSuite(b *testing.B, workers int) parallel.Stats {
+	b.Helper()
+	m := parallel.NewMeter()
+	o := ExpOptions{Requests: 2, Scale: 1.0, Seed: 1, Workers: workers, Meter: m}
+	if _, err := Fig9(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Fig10(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Fig11(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Fig12(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Fig13(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Fig14(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Fig15(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Fig16(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Table2(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Table3(o); err != nil {
+		b.Fatal(err)
+	}
+	return m.Stats()
+}
+
+// BenchmarkFullSuiteSerial and BenchmarkFullSuiteParallel are the
+// regression guard for the parallel runner: the true speedup is the
+// ratio of their ns/op (serial wall over parallel wall). On N ≥ 4
+// cores the parallel suite is expected to run ≥ 2x faster; see
+// EXPERIMENTS.md. The effective-parallelism metric is average cells
+// in flight as seen by the meter — it tracks speedup only while
+// workers ≤ cores.
+func BenchmarkFullSuiteSerial(b *testing.B) {
+	var st parallel.Stats
+	for i := 0; i < b.N; i++ {
+		st = fullSuite(b, 1)
+	}
+	b.ReportMetric(float64(st.Jobs), "cells")
+	b.ReportMetric(st.Parallelism(), "effective-parallelism-x")
+}
+
+func BenchmarkFullSuiteParallel(b *testing.B) {
+	var st parallel.Stats
+	for i := 0; i < b.N; i++ {
+		st = fullSuite(b, 0) // 0 = GOMAXPROCS workers
+	}
+	b.ReportMetric(float64(st.Jobs), "cells")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(st.Parallelism(), "effective-parallelism-x")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed

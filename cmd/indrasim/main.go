@@ -8,12 +8,19 @@
 //	indrasim -service httpd -requests 10
 //	indrasim -service bind -requests 8 -attack stack-smash,dos-crash
 //	indrasim -service nfs -scheme software-pagecopy -monitor=false
+//	indrasim -service ftpd,httpd,bind -isolate -workers 3
+//
+// A comma-separated -service list is time-multiplexed on one
+// resurrectee core by default; with -isolate each service instead gets
+// its own simulated chip and the chips run concurrently on -workers
+// goroutines (default GOMAXPROCS), reported in launch order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"indra"
@@ -21,6 +28,7 @@ import (
 	"indra/internal/checkpoint"
 	"indra/internal/chip"
 	"indra/internal/netsim"
+	"indra/internal/parallel"
 	"indra/internal/workload"
 )
 
@@ -37,6 +45,8 @@ func main() {
 		camSz    = flag.Int("cam", 32, "code-origin CAM entries")
 		budget   = flag.Uint64("budget", 2_000_000, "per-request instruction budget (DoS liveness)")
 		verbose  = flag.Bool("v", false, "print boot sequence and per-request records")
+		isolate  = flag.Bool("isolate", false, "give each -service its own chip instead of time-multiplexing one core")
+		workers  = flag.Int("workers", 0, "concurrent chips with -isolate (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -69,7 +79,11 @@ func main() {
 
 	services := strings.Split(*service, ",")
 	if len(services) > 1 {
-		runMultiplexed(cfg, services, *requests, uint32(*seed), *scale)
+		if *isolate {
+			runIsolated(cfg, services, *requests, uint32(*seed), *scale, *workers, kinds)
+		} else {
+			runMultiplexed(cfg, services, *requests, uint32(*seed), *scale)
+		}
 		return
 	}
 
@@ -134,6 +148,37 @@ func main() {
 			fmt.Printf("  #%-3d %-12s %-11s rt=%d\n", r.ID, r.Label, r.Outcome, r.ResponseTime())
 		}
 	}
+}
+
+// runIsolated boots one chip per service and runs them concurrently on
+// the experiment runner's worker pool; results print in launch order
+// whatever the completion order.
+func runIsolated(cfg chip.Config, services []string, requests int, seed uint32, scale float64, workers int, kinds []attack.Kind) {
+	meter := parallel.NewMeter()
+	pool := parallel.Pool{Workers: workers, Meter: meter}
+	runs, err := parallel.Run(pool, services, func(i int, name string) (*indra.ServiceRun, error) {
+		return indra.RunService(strings.TrimSpace(name), indra.Options{
+			Chip:     &cfg,
+			Requests: requests,
+			Seed:     seed + uint32(i),
+			Scale:    scale,
+			Attacks:  kinds,
+		})
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("isolated: %d services, one chip each:\n", len(runs))
+	for _, run := range runs {
+		sum := run.Summary
+		fmt.Printf("  %-10s served %d/%d, mean RT %.0f cycles (p95 %d), %d violations\n",
+			run.Name, sum.Served, sum.Total, sum.MeanRT, run.Port.Percentile(0.95), len(run.Violations()))
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "runner: %s, %d worker(s)\n", meter.Stats(), w)
 }
 
 // runMultiplexed time-shares several services on one resurrectee core

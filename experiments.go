@@ -10,6 +10,7 @@ import (
 	"indra/internal/chip"
 	"indra/internal/monitor"
 	"indra/internal/netsim"
+	"indra/internal/parallel"
 	"indra/internal/workload"
 )
 
@@ -18,13 +19,29 @@ import (
 // platform and returns a result with a Format method that prints the
 // same rows/series the paper reports. See DESIGN.md for the
 // per-experiment index and EXPERIMENTS.md for paper-vs-measured.
+//
+// Every experiment decomposes into independent (service, config)
+// simulation cells — each cell boots its own chip, builds its own
+// program and request stream, and shares no state with any other cell.
+// The cells are fanned out on a parallel.Pool worker pool and merged
+// back in canonical input order, so the formatted output is
+// byte-for-byte identical whatever the worker count (the golden tests
+// in golden_test.go hold this invariant).
 
 // ExpOptions tunes experiment runs; the zero value gives the standard
-// configuration (8 requests per service, 1/10-paper workload scale).
+// configuration (8 requests per service, 1/10-paper workload scale,
+// one simulation cell per available CPU).
 type ExpOptions struct {
 	Requests int
 	Scale    float64
 	Seed     uint32
+	// Workers bounds how many simulation cells run concurrently;
+	// 0 selects GOMAXPROCS, 1 forces a serial run. Output is identical
+	// either way.
+	Workers int
+	// Meter, when non-nil, accumulates cell counts and wall/work time
+	// across experiments (the CLIs use it for the throughput summary).
+	Meter *parallel.Meter
 }
 
 func (o ExpOptions) fill() ExpOptions {
@@ -42,6 +59,19 @@ func (o ExpOptions) fill() ExpOptions {
 
 func (o ExpOptions) runOpts(cfg chip.Config) Options {
 	return Options{Chip: &cfg, Requests: o.Requests, Scale: o.Scale, Seed: o.Seed}
+}
+
+// pool returns the worker pool experiments fan their cells out on.
+func (o ExpOptions) pool() parallel.Pool {
+	return parallel.Pool{Workers: o.Workers, Meter: o.Meter}
+}
+
+// forEachService fans one simulation cell per service out on the pool
+// and returns the per-service results in the paper's figure order.
+func forEachService[R any](o ExpOptions, fn func(name string) (R, error)) ([]R, error) {
+	return parallel.Run(o.pool(), workload.Names(), func(_ int, name string) (R, error) {
+		return fn(name)
+	})
 }
 
 // ---------------------------------------------------------------- Fig 9
@@ -62,15 +92,19 @@ type Fig9Result struct {
 // Fig9 measures the L1 instruction cache miss rates.
 func Fig9(o ExpOptions) (*Fig9Result, error) {
 	o = o.fill()
-	res := &Fig9Result{}
-	for _, name := range workload.Names() {
+	rows, err := forEachService(o, func(name string) (Fig9Row, error) {
 		run, err := RunService(name, o.runOpts(chip.DefaultConfig()))
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
 		st := run.Chip.Core(0).Hierarchy().L1I().Stats()
-		row := Fig9Row{Service: name, MissPct: st.MissRate() * 100, IL1Fills: st.Fills}
-		res.Rows = append(res.Rows, row)
+		return Fig9Row{Service: name, MissPct: st.MissRate() * 100, IL1Fills: st.Fills}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: rows}
+	for _, row := range rows {
 		res.Average += row.MissPct
 	}
 	res.Average /= float64(len(res.Rows))
@@ -107,27 +141,43 @@ type Fig10Result struct {
 	Average64 float64
 }
 
-// Fig10 measures the CAM filter.
+// Fig10 measures the CAM filter. Each (service, CAM size) pair is an
+// independent cell.
 func Fig10(o ExpOptions) (*Fig10Result, error) {
 	o = o.fill()
-	res := &Fig10Result{}
+	sizes := []int{32, 64}
+	type cell struct {
+		service string
+		size    int
+	}
+	var cells []cell
 	for _, name := range workload.Names() {
-		var remain [2]float64
-		for i, size := range []int{32, 64} {
-			cfg := chip.DefaultConfig()
-			cfg.CAMSize = size
-			run, err := RunService(name, o.runOpts(cfg))
-			if err != nil {
-				return nil, err
-			}
-			cs := run.Chip.Core(0).Stats()
-			if cs.IL1Fills > 0 {
-				remain[i] = float64(cs.OriginChecks) / float64(cs.IL1Fills) * 100
-			}
+		for _, size := range sizes {
+			cells = append(cells, cell{name, size})
 		}
-		res.Rows = append(res.Rows, Fig10Row{Service: name, RemainPct32: remain[0], RemainPct64: remain[1]})
-		res.Average32 += remain[0]
-		res.Average64 += remain[1]
+	}
+	remains, err := parallel.Run(o.pool(), cells, func(_ int, c cell) (float64, error) {
+		cfg := chip.DefaultConfig()
+		cfg.CAMSize = c.size
+		run, err := RunService(c.service, o.runOpts(cfg))
+		if err != nil {
+			return 0, err
+		}
+		cs := run.Chip.Core(0).Stats()
+		if cs.IL1Fills == 0 {
+			return 0, nil
+		}
+		return float64(cs.OriginChecks) / float64(cs.IL1Fills) * 100, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{}
+	for i, name := range workload.Names() {
+		r32, r64 := remains[i*len(sizes)], remains[i*len(sizes)+1]
+		res.Rows = append(res.Rows, Fig10Row{Service: name, RemainPct32: r32, RemainPct64: r64})
+		res.Average32 += r32
+		res.Average64 += r64
 	}
 	res.Average32 /= float64(len(res.Rows))
 	res.Average64 /= float64(len(res.Rows))
@@ -163,31 +213,37 @@ type Fig11Result struct {
 	Average float64
 }
 
-// Fig11 measures monitoring overhead.
+// Fig11 measures monitoring overhead. Each (service, monitored?) pair
+// is an independent cell.
 func Fig11(o ExpOptions) (*Fig11Result, error) {
 	o = o.fill()
-	res := &Fig11Result{}
+	type cell struct {
+		service   string
+		monitored bool
+	}
+	var cells []cell
 	for _, name := range workload.Names() {
-		baseCfg := chip.DefaultConfig()
-		baseCfg.Monitoring = false
-		baseCfg.Scheme = chip.SchemeNone
-		base, err := RunService(name, o.runOpts(baseCfg))
+		cells = append(cells, cell{name, false}, cell{name, true})
+	}
+	rts, err := parallel.Run(o.pool(), cells, func(_ int, c cell) (float64, error) {
+		cfg := chip.DefaultConfig()
+		cfg.Monitoring = c.monitored
+		cfg.Scheme = chip.SchemeNone
+		run, err := RunService(c.service, o.runOpts(cfg))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		monCfg := chip.DefaultConfig()
-		monCfg.Scheme = chip.SchemeNone
-		mon, err := RunService(name, o.runOpts(monCfg))
-		if err != nil {
-			return nil, err
-		}
-		row := Fig11Row{
-			Service: name,
-			BaseRT:  base.Summary.MeanRT,
-			MonRT:   mon.Summary.MeanRT,
-		}
-		if base.Summary.MeanRT > 0 {
-			row.OverheadPct = (mon.Summary.MeanRT/base.Summary.MeanRT - 1) * 100
+		return run.Summary.MeanRT, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	for i, name := range workload.Names() {
+		baseRT, monRT := rts[i*2], rts[i*2+1]
+		row := Fig11Row{Service: name, BaseRT: baseRT, MonRT: monRT}
+		if baseRT > 0 {
+			row.OverheadPct = (monRT/baseRT - 1) * 100
 		}
 		res.Rows = append(res.Rows, row)
 		res.Average += row.OverheadPct
@@ -222,22 +278,38 @@ type Fig12Result struct {
 	Points []Fig12Point
 }
 
-// Fig12 sweeps the FIFO size.
+// Fig12 sweeps the FIFO size. Each (service, FIFO size) pair is an
+// independent cell; the 36-cell cross product is the suite's widest
+// fan-out.
 func Fig12(o ExpOptions) (*Fig12Result, error) {
 	o = o.fill()
 	sizes := []int{10, 16, 24, 32, 48, 64}
-	mean := make([]float64, len(sizes))
+	type cell struct {
+		service string
+		size    int
+	}
+	var cells []cell
 	for _, name := range workload.Names() {
-		for i, size := range sizes {
-			cfg := chip.DefaultConfig()
-			cfg.Scheme = chip.SchemeNone
-			cfg.FIFOEntries = size
-			run, err := RunService(name, o.runOpts(cfg))
-			if err != nil {
-				return nil, err
-			}
-			mean[i] += run.Summary.MeanRT
+		for _, size := range sizes {
+			cells = append(cells, cell{name, size})
 		}
+	}
+	rts, err := parallel.Run(o.pool(), cells, func(_ int, c cell) (float64, error) {
+		cfg := chip.DefaultConfig()
+		cfg.Scheme = chip.SchemeNone
+		cfg.FIFOEntries = c.size
+		run, err := RunService(c.service, o.runOpts(cfg))
+		if err != nil {
+			return 0, err
+		}
+		return run.Summary.MeanRT, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mean := make([]float64, len(sizes))
+	for i := range cells {
+		mean[i%len(sizes)] += rts[i]
 	}
 	base := mean[len(mean)-1]
 	res := &Fig12Result{}
@@ -278,23 +350,25 @@ type Fig13Result struct {
 // application behaviour).
 func Fig13(o ExpOptions) (*Fig13Result, error) {
 	o = o.fill()
-	res := &Fig13Result{Scale: o.Scale}
-	for _, name := range workload.Names() {
+	rows, err := forEachService(o, func(name string) (Fig13Row, error) {
 		cfg := chip.DefaultConfig()
 		cfg.Monitoring = false
 		cfg.Scheme = chip.SchemeNone
 		run, err := RunService(name, o.runOpts(cfg))
 		if err != nil {
-			return nil, err
+			return Fig13Row{}, err
 		}
 		per := float64(run.Chip.Core(0).Stats().Instret) / float64(run.Summary.Served)
-		res.Rows = append(res.Rows, Fig13Row{
+		return Fig13Row{
 			Service:      name,
 			InstrPerReq:  per,
 			PaperScaleEq: per * 10 / o.Scale,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig13Result{Rows: rows, Scale: o.Scale}, nil
 }
 
 // Format renders the figure as text.
@@ -325,26 +399,37 @@ type Fig14Result struct {
 }
 
 // Fig14 measures the page-copy baseline slowdown (normalized to a
-// system with no monitoring and no backup).
+// system with no monitoring and no backup). Each (service, scheme)
+// pair is an independent cell.
 func Fig14(o ExpOptions) (*Fig14Result, error) {
 	o = o.fill()
-	res := &Fig14Result{}
+	schemes := []chip.SchemeKind{chip.SchemeNone, chip.SchemeSoftwarePageCopy}
+	type cell struct {
+		service string
+		scheme  chip.SchemeKind
+	}
+	var cells []cell
 	for _, name := range workload.Names() {
-		baseCfg := chip.DefaultConfig()
-		baseCfg.Monitoring = false
-		baseCfg.Scheme = chip.SchemeNone
-		base, err := RunService(name, o.runOpts(baseCfg))
-		if err != nil {
-			return nil, err
+		for _, sk := range schemes {
+			cells = append(cells, cell{name, sk})
 		}
-		pcCfg := chip.DefaultConfig()
-		pcCfg.Monitoring = false
-		pcCfg.Scheme = chip.SchemeSoftwarePageCopy
-		pc, err := RunService(name, o.runOpts(pcCfg))
+	}
+	rts, err := parallel.Run(o.pool(), cells, func(_ int, c cell) (float64, error) {
+		cfg := chip.DefaultConfig()
+		cfg.Monitoring = false
+		cfg.Scheme = c.scheme
+		run, err := RunService(c.service, o.runOpts(cfg))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		row := SlowdownRow{Service: name, Normalized: pc.Summary.MeanRT / base.Summary.MeanRT}
+		return run.Summary.MeanRT, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{}
+	for i, name := range workload.Names() {
+		row := SlowdownRow{Service: name, Normalized: rts[i*2+1] / rts[i*2]}
 		res.Rows = append(res.Rows, row)
 		res.Average += row.Normalized
 	}
@@ -384,15 +469,14 @@ type Fig15Result struct {
 // Fig15 measures dirty-line density under the delta engine.
 func Fig15(o ExpOptions) (*Fig15Result, error) {
 	o = o.fill()
-	res := &Fig15Result{}
-	for _, name := range workload.Names() {
+	rows, err := forEachService(o, func(name string) (Fig15Row, error) {
 		run, err := RunService(name, o.runOpts(chip.DefaultConfig()))
 		if err != nil {
-			return nil, err
+			return Fig15Row{}, err
 		}
 		eng, ok := run.Process().Ckpt.(*checkpoint.Engine)
 		if !ok {
-			return nil, fmt.Errorf("fig15: %s not running the delta engine", name)
+			return Fig15Row{}, fmt.Errorf("fig15: %s not running the delta engine", name)
 		}
 		st := eng.Stats()
 		row := Fig15Row{Service: name}
@@ -400,7 +484,13 @@ func Fig15(o ExpOptions) (*Fig15Result, error) {
 			den := float64(st.DirtyPageTouches) * float64(eng.Config().LinesPerPage())
 			row.BackupPct = float64(st.LineBackups) / den * 100
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig15Result{Rows: rows}
+	for _, row := range rows {
 		res.Average += row.BackupPct
 	}
 	res.Average /= float64(len(res.Rows))
@@ -434,59 +524,85 @@ type Fig16Result struct {
 	Rows []Fig16Row
 }
 
-// Fig16 measures INDRA's end-to-end overheads.
+// Fig16 measures INDRA's end-to-end overheads. Each service expands to
+// three independent cells: the unprotected baseline, monitor+backup,
+// and the rollback-every-other-request barrage.
 func Fig16(o ExpOptions) (*Fig16Result, error) {
 	o = o.fill()
-	res := &Fig16Result{}
+	const (
+		vBase = iota
+		vMonitorBackup
+		vRollback
+		numVariants
+	)
+	type cell struct {
+		service string
+		variant int
+	}
+	var cells []cell
 	for _, name := range workload.Names() {
-		baseCfg := chip.DefaultConfig()
-		baseCfg.Monitoring = false
-		baseCfg.Scheme = chip.SchemeNone
-		base, err := RunService(name, o.runOpts(baseCfg))
-		if err != nil {
-			return nil, err
+		for v := 0; v < numVariants; v++ {
+			cells = append(cells, cell{name, v})
 		}
-
-		mb, err := RunService(name, o.runOpts(chip.DefaultConfig()))
-		if err != nil {
-			return nil, err
+	}
+	rts, err := parallel.Run(o.pool(), cells, func(_ int, c cell) (float64, error) {
+		switch c.variant {
+		case vBase:
+			cfg := chip.DefaultConfig()
+			cfg.Monitoring = false
+			cfg.Scheme = chip.SchemeNone
+			run, err := RunService(c.service, o.runOpts(cfg))
+			if err != nil {
+				return 0, err
+			}
+			return run.Summary.MeanRT, nil
+		case vMonitorBackup:
+			run, err := RunService(c.service, o.runOpts(chip.DefaultConfig()))
+			if err != nil {
+				return 0, err
+			}
+			return run.Summary.MeanRT, nil
+		default:
+			// Rollback every other request: interleave a crash attack
+			// after each legitimate request.
+			params := workload.MustByName(c.service)
+			if o.Scale != 1.0 {
+				params = params.Scale(o.Scale)
+			}
+			prog, err := params.BuildProgram()
+			if err != nil {
+				return 0, err
+			}
+			legit := params.GenRequests(o.Requests, o.Seed)
+			var stream []netsim.Request
+			for _, rq := range legit {
+				stream = append(stream, rq, attack.NewDoSLateCrash())
+			}
+			ch, err := chip.New(chip.DefaultConfig())
+			if err != nil {
+				return 0, err
+			}
+			port := netsim.NewPort(stream)
+			if _, err := ch.LaunchService(0, c.service, prog, port); err != nil {
+				return 0, err
+			}
+			if _, err := ch.Run(0); err != nil {
+				return 0, err
+			}
+			return port.Summarize().MeanRT, nil
 		}
-
-		// Rollback every other request: interleave a crash attack after
-		// each legitimate request.
-		params := workload.MustByName(name)
-		if o.Scale != 1.0 {
-			params = params.Scale(o.Scale)
-		}
-		prog, err := params.BuildProgram()
-		if err != nil {
-			return nil, err
-		}
-		legit := params.GenRequests(o.Requests, o.Seed)
-		var stream []netsim.Request
-		for _, rq := range legit {
-			stream = append(stream, rq, attack.NewDoSLateCrash())
-		}
-		rbCfg := chip.DefaultConfig()
-		ch, err := chip.New(rbCfg)
-		if err != nil {
-			return nil, err
-		}
-		port := netsim.NewPort(stream)
-		if _, err := ch.LaunchService(0, name, prog, port); err != nil {
-			return nil, err
-		}
-		if _, err := ch.Run(0); err != nil {
-			return nil, err
-		}
-		rbSum := port.Summarize()
-
-		row := Fig16Row{
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{}
+	for i, name := range workload.Names() {
+		base := rts[i*numVariants+vBase]
+		res.Rows = append(res.Rows, Fig16Row{
 			Service:       name,
-			MonitorBackup: mb.Summary.MeanRT / base.Summary.MeanRT,
-			WithRollback:  rbSum.MeanRT / base.Summary.MeanRT,
-		}
-		res.Rows = append(res.Rows, row)
+			MonitorBackup: rts[i*numVariants+vMonitorBackup] / base,
+			WithRollback:  rts[i*numVariants+vRollback] / base,
+		})
 	}
 	return res, nil
 }
@@ -551,8 +667,7 @@ func Table2(o ExpOptions) (*Table2Result, error) {
 		{attack.DoSHang, nil, "full"},
 	}
 
-	res := &Table2Result{}
-	for _, tc := range cases {
+	rows, err := parallel.Run(o.pool(), cases, func(_ int, tc table2Case) (Table2Row, error) {
 		cfg := chip.DefaultConfig()
 		cfg.MonitorPolicy = tc.policy
 		// DoS hang needs a liveness budget that trips within the run.
@@ -567,7 +682,7 @@ func Table2(o ExpOptions) (*Table2Result, error) {
 			AttackAfter: legit, // exploits arrive after the legit stream
 		})
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		row := Table2Row{Attack: tc.kind, Policy: tc.label}
 		if vs := run.Violations(); len(vs) > 0 {
@@ -585,9 +700,12 @@ func Table2(o ExpOptions) (*Table2Result, error) {
 		// corrupting store is behaviourally silent), so count recovery
 		// as all legitimate requests being served.
 		row.Recovered = run.Summary.Served >= legit
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table2Result{Rows: rows}, nil
 }
 
 // Format renders the table as text.
@@ -621,53 +739,60 @@ type Table3Result struct {
 }
 
 // Table3 runs the same service and attack pattern under each scheme.
+// The no-backup baseline and the four schemes are five independent
+// cells; each cell rebuilds its own program and request stream, so no
+// payload bytes are shared between concurrently simulated chips.
 func Table3(o ExpOptions) (*Table3Result, error) {
 	o = o.fill()
 	const service = "httpd"
-	res := &Table3Result{Service: service}
-
-	params := workload.MustByName(service)
-	if o.Scale != 1.0 {
-		params = params.Scale(o.Scale)
-	}
-	prog, err := params.BuildProgram()
-	if err != nil {
-		return nil, err
-	}
-	legit := params.GenRequests(o.Requests, o.Seed)
-	var stream []netsim.Request
-	for _, rq := range legit {
-		stream = append(stream, rq, attack.NewDoSLateCrash())
-	}
-
-	baseCfg := chip.DefaultConfig()
-	baseCfg.Monitoring = false
-	baseCfg.Scheme = chip.SchemeNone
-	base, err := RunService(service, o.runOpts(baseCfg))
-	if err != nil {
-		return nil, err
-	}
 
 	schemes := []chip.SchemeKind{
+		chip.SchemeNone, // cell 0: the normalization baseline
 		chip.SchemeSoftwarePageCopy,
 		chip.SchemeUpdateLog,
 		chip.SchemeHWVirtualCopy,
 		chip.SchemeDelta,
 	}
-	for _, sk := range schemes {
+	type out struct {
+		row    Table3Row
+		meanRT float64
+	}
+	outs, err := parallel.Run(o.pool(), schemes, func(_ int, sk chip.SchemeKind) (out, error) {
+		if sk == chip.SchemeNone {
+			cfg := chip.DefaultConfig()
+			cfg.Monitoring = false
+			cfg.Scheme = chip.SchemeNone
+			base, err := RunService(service, o.runOpts(cfg))
+			if err != nil {
+				return out{}, err
+			}
+			return out{meanRT: base.Summary.MeanRT}, nil
+		}
+		params := workload.MustByName(service)
+		if o.Scale != 1.0 {
+			params = params.Scale(o.Scale)
+		}
+		prog, err := params.BuildProgram()
+		if err != nil {
+			return out{}, err
+		}
+		var stream []netsim.Request
+		for _, rq := range params.GenRequests(o.Requests, o.Seed) {
+			stream = append(stream, rq, attack.NewDoSLateCrash())
+		}
 		cfg := chip.DefaultConfig()
 		cfg.Monitoring = false // isolate backup/recovery costs
 		cfg.Scheme = sk
 		ch, err := chip.New(cfg)
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
-		port := netsim.NewPort(append([]netsim.Request(nil), cloneRequests(stream)...))
+		port := netsim.NewPort(stream)
 		if _, err := ch.LaunchService(0, service, prog, port); err != nil {
-			return nil, err
+			return out{}, err
 		}
 		if _, err := ch.Run(0); err != nil {
-			return nil, err
+			return out{}, err
 		}
 		sum := port.Summarize()
 		ov := ch.Process(0).Ckpt.Overhead()
@@ -680,18 +805,18 @@ func Table3(o ExpOptions) (*Table3Result, error) {
 			row.RecoveryCycles = ov.RecoveryCycles / uint64(sum.Aborted)
 			row.RecoveryOps = ov.RecoveryOps / uint64(sum.Aborted)
 		}
-		row.NormalizedRT = sum.MeanRT / base.Summary.MeanRT
-		res.Rows = append(res.Rows, row)
+		return out{row: row, meanRT: sum.MeanRT}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{Service: service}
+	baseRT := outs[0].meanRT
+	for _, c := range outs[1:] {
+		c.row.NormalizedRT = c.meanRT / baseRT
+		res.Rows = append(res.Rows, c.row)
 	}
 	return res, nil
-}
-
-func cloneRequests(in []netsim.Request) []netsim.Request {
-	out := make([]netsim.Request, len(in))
-	for i, r := range in {
-		out[i] = netsim.Request{Payload: append([]byte(nil), r.Payload...), Label: r.Label}
-	}
-	return out
 }
 
 // Format renders the table as text.

@@ -1,0 +1,110 @@
+package indra
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden determinism tests: every figure, table and ablation must
+// produce byte-for-byte identical Format() output whether its cells
+// run serially (Workers: 1) or fanned out (Workers: 8), and that
+// output must match the committed golden file for the standard seed.
+// Any nondeterministic merge, shared RNG, or cross-cell state leak
+// shows up here as a diff.
+//
+// Regenerate the goldens after an intentional model change with:
+//
+//	go test -run TestGoldenDeterminism -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden experiment outputs")
+
+// goldenOpts is the standard configuration the goldens are committed
+// for: seed 1, 1/10-paper scale, 3 requests to keep the suite fast.
+var goldenOpts = ExpOptions{Requests: 3, Scale: 1.0, Seed: 1}
+
+type goldenCase struct {
+	name string
+	run  func(ExpOptions) (string, error)
+}
+
+func fmtExp[R interface{ Format() string }](fn func(ExpOptions) (R, error)) func(ExpOptions) (string, error) {
+	return func(o ExpOptions) (string, error) {
+		r, err := fn(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"fig9", fmtExp(Fig9)},
+		{"fig10", fmtExp(Fig10)},
+		{"fig11", fmtExp(Fig11)},
+		{"fig12", fmtExp(Fig12)},
+		{"fig13", fmtExp(Fig13)},
+		{"fig14", fmtExp(Fig14)},
+		{"fig15", fmtExp(Fig15)},
+		{"fig16", fmtExp(Fig16)},
+		{"table2", fmtExp(Table2)},
+		{"table3", fmtExp(Table3)},
+		{"table4", func(ExpOptions) (string, error) { return Table4(), nil }},
+		{"ablation-line", fmtExp(AblationLineSize)},
+		{"ablation-cam", fmtExp(AblationCAM)},
+		{"ablation-monitor", fmtExp(AblationMonitorSpeed)},
+		{"ablation-rollback", fmtExp(AblationRollback)},
+		{"ablation-space", fmtExp(AblationSpace)},
+		{"ablation-resurrectors", fmtExp(AblationResurrectors)},
+		{"ablation-bpred", fmtExp(AblationBPred)},
+		{"availability", fmtExp(Availability)},
+		{"latency", fmtExp(DetectionLatency)},
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run is not short")
+	}
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			serialOpts := goldenOpts
+			serialOpts.Workers = 1
+			serial, err := tc.run(serialOpts)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+
+			parOpts := goldenOpts
+			parOpts.Workers = 8
+			par, err := tc.run(parOpts)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+
+			if serial != par {
+				t.Fatalf("parallel output diverges from serial\n--- Workers: 1 ---\n%s--- Workers: 8 ---\n%s", serial, par)
+			}
+
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(serial), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+			}
+			if serial != string(want) {
+				t.Errorf("output differs from committed golden %s\n--- got ---\n%s--- want ---\n%s", path, serial, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package asm_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"indra/internal/asm"
+	"indra/internal/isa"
+	"indra/internal/workload"
+)
+
+// FuzzAssemble throws arbitrary source at the two-pass assembler. The
+// assembler may reject input with an error, but it must never panic,
+// and anything it accepts must satisfy the round-trip properties the
+// monitor's control-transfer policy depends on: every label resolves
+// inside the image, the .func/.export metadata agrees with the symbol
+// table, and every emitted instruction word decodes and re-encodes to
+// itself. The corpus is seeded with the six calibrated service
+// programs — the largest real inputs the assembler ever sees.
+func FuzzAssemble(f *testing.F) {
+	for _, name := range workload.Names() {
+		f.Add(workload.MustByName(name).GenerateSource())
+	}
+	f.Add(".text\n_start:\n  li a0, 1\n  ret\n")
+	f.Add(".text\n.func fn\nfn:\n  call fn\n  ret\n.data\nv: .word fn, 7\n")
+	f.Add(".text\n.export h\nh:\n  push ra\n  pop ra\n  jr ra\n.data\n.align 8\ns: .asciiz \"x\"\n")
+	f.Add(".data\n.space 3\n.byte 1, 2\n.text\nloop:\n  beqz a0, loop\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+
+		// Labels round-trip: every address-set entry points back into
+		// the symbol table at the same address.
+		for addr, name := range p.Funcs {
+			if got, ok := p.Symbols[name]; !ok || got != addr {
+				t.Fatalf(".func %s: symbol table has %#x/%v, funcs has %#x", name, got, ok, addr)
+			}
+		}
+		for addr, name := range p.Exports {
+			if got, ok := p.Symbols[name]; !ok || got != addr {
+				t.Fatalf(".export %s: symbol table has %#x/%v, exports has %#x", name, got, ok, addr)
+			}
+		}
+		if len(p.Text) > 0 && (p.Entry < p.TextBase || p.Entry >= p.TextEnd()) {
+			t.Fatalf("entry %#x outside text [%#x, %#x)", p.Entry, p.TextBase, p.TextEnd())
+		}
+
+		// Encodings round-trip: each emitted word must survive
+		// decode → encode unchanged, or the core would execute a
+		// different instruction than the assembler meant.
+		for off := 0; off+4 <= len(p.Text); off += 4 {
+			w := binary.LittleEndian.Uint32(p.Text[off:])
+			in := isa.Decode(w)
+			if !in.Op.Valid() {
+				continue // data emitted into .text (.word/.byte) is allowed
+			}
+			if re := isa.Encode(in); re != w {
+				t.Fatalf("text+%#x: word %#x decodes to %+v which re-encodes to %#x", off, w, in, re)
+			}
+		}
+
+		// The disassembler must handle anything the assembler built.
+		_ = asm.Disassemble(p)
+	})
+}

@@ -11,6 +11,7 @@ package fifo
 
 import (
 	"fmt"
+	"sync"
 
 	"indra/internal/trace"
 )
@@ -106,4 +107,63 @@ func (q *Queue) Drain() []trace.Record {
 		}
 		out = append(out, r)
 	}
+}
+
+// Shared is a Queue safe for concurrent producers and consumers. The
+// co-simulated chip steps resurrectee and resurrector on one goroutine
+// and uses the bare Queue; Shared is the boundary type for harnesses
+// that drive the two sides from different host threads — most
+// immediately the parallel experiment runner's concurrency tests, and
+// any future chip stepping mode that gives each core a host thread.
+type Shared struct {
+	mu sync.Mutex
+	q  Queue
+}
+
+// NewShared creates a thread-safe queue with the given entry capacity.
+func NewShared(capacity int) *Shared {
+	return &Shared{q: *New(capacity)}
+}
+
+// Push appends a record; false means the queue was full (the producer
+// models a stall and retries).
+func (s *Shared) Push(r trace.Record) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Push(r)
+}
+
+// Pop removes the oldest record; ok is false when the queue is empty.
+func (s *Shared) Pop() (r trace.Record, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Pop()
+}
+
+// Len returns the current occupancy.
+func (s *Shared) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Len()
+}
+
+// Cap returns the queue capacity in entries.
+func (s *Shared) Cap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Cap()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Shared) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Stats()
+}
+
+// Drain removes and returns all currently queued records in order.
+func (s *Shared) Drain() []trace.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Drain()
 }

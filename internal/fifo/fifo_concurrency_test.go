@@ -1,0 +1,180 @@
+package fifo
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"indra/internal/trace"
+)
+
+// The trace FIFO is the resurrectee/resurrector boundary. Once
+// experiment runs execute in parallel, any queue shared across host
+// threads must be race-safe and must preserve per-producer FIFO order
+// under every interleaving. These tests are written to be run under
+// -race; the CI workflow does so on every push.
+
+// crec tags a record with a producer ID and a per-producer sequence
+// number so ordering can be verified after arbitrary interleavings.
+func crec(producer, seq int) trace.Record {
+	return trace.Record{
+		Kind:   trace.KindCall,
+		Core:   producer,
+		PC:     uint32(seq),
+		Target: uint32(producer<<16 | seq),
+	}
+}
+
+// TestSharedProducerConsumerInterleavings drives concurrent producers
+// and consumers over the Shared queue and checks that nothing is lost,
+// duplicated, or reordered within a producer's stream.
+func TestSharedProducerConsumerInterleavings(t *testing.T) {
+	cases := []struct {
+		name      string
+		capacity  int
+		producers int
+		consumers int
+		perProd   int
+	}{
+		{"1p1c-tiny-queue", 1, 1, 1, 128},
+		{"1p1c-paper-queue", 32, 1, 1, 256},
+		{"2p1c", 8, 2, 1, 128},
+		{"1p2c", 8, 1, 2, 128},
+		{"4p4c-contended", 4, 4, 4, 96},
+		{"4p2c-deep-queue", 64, 4, 2, 96},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := NewShared(tc.capacity)
+
+			var wg sync.WaitGroup
+			for p := 0; p < tc.producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for seq := 0; seq < tc.perProd; seq++ {
+						for !q.Push(crec(p, seq)) {
+							// Full: the hardware producer stalls; the
+							// host thread yields until drained.
+							runtime.Gosched()
+						}
+					}
+				}(p)
+			}
+
+			total := tc.producers * tc.perProd
+			got := make(chan trace.Record, total)
+			var consumed sync.WaitGroup
+			stop := make(chan struct{})
+			for c := 0; c < tc.consumers; c++ {
+				consumed.Add(1)
+				go func() {
+					defer consumed.Done()
+					for {
+						r, ok := q.Pop()
+						if ok {
+							got <- r
+							continue
+						}
+						select {
+						case <-stop:
+							// Producers are done; drain the remainder.
+							for {
+								r, ok := q.Pop()
+								if !ok {
+									return
+								}
+								got <- r
+							}
+						default:
+							runtime.Gosched()
+						}
+					}
+				}()
+			}
+
+			wg.Wait()
+			close(stop)
+			consumed.Wait()
+			close(got)
+
+			// Every record arrives exactly once. With one consumer the
+			// per-producer order must be strictly increasing; with
+			// several consumers, delivery order across consumers is
+			// unspecified, so only the count/occupancy invariants hold.
+			seen := make(map[uint32]int)
+			lastSeq := make([]int, tc.producers)
+			for i := range lastSeq {
+				lastSeq[i] = -1
+			}
+			ordered := tc.consumers == 1
+			count := 0
+			for r := range got {
+				count++
+				seen[r.Target]++
+				if ordered {
+					if int(r.PC) <= lastSeq[r.Core] {
+						t.Fatalf("producer %d: seq %d delivered after %d", r.Core, r.PC, lastSeq[r.Core])
+					}
+					lastSeq[r.Core] = int(r.PC)
+				}
+			}
+			if count != total {
+				t.Fatalf("consumed %d records, want %d", count, total)
+			}
+			for target, n := range seen {
+				if n != 1 {
+					t.Fatalf("record %#x delivered %d times", target, n)
+				}
+			}
+
+			st := q.Stats()
+			if st.Pushes != uint64(total) || st.Pops != uint64(total) {
+				t.Fatalf("stats pushes=%d pops=%d, want %d each", st.Pushes, st.Pops, total)
+			}
+			if st.MaxDepth > tc.capacity {
+				t.Fatalf("max depth %d exceeds capacity %d", st.MaxDepth, tc.capacity)
+			}
+			if q.Len() != 0 {
+				t.Fatalf("queue not empty after drain: %d", q.Len())
+			}
+		})
+	}
+}
+
+// TestSharedMatchesQueueSemantics checks the wrapper against the bare
+// Queue on a deterministic single-threaded interleaving script, so the
+// two types cannot drift apart.
+func TestSharedMatchesQueueSemantics(t *testing.T) {
+	type op struct {
+		push bool
+		seq  int
+	}
+	script := []op{
+		{true, 0}, {true, 1}, {false, 0}, {true, 2}, {true, 3}, // fills cap 3
+		{true, 4},                                      // full: must be rejected by both
+		{false, 0}, {false, 0}, {false, 0}, {false, 0}, // empties
+	}
+	q := New(3)
+	s := NewShared(3)
+	for i, o := range script {
+		if o.push {
+			a, b := q.Push(crec(0, o.seq)), s.Push(crec(0, o.seq))
+			if a != b {
+				t.Fatalf("op %d: push diverged: queue=%v shared=%v", i, a, b)
+			}
+			continue
+		}
+		ra, oka := q.Pop()
+		rb, okb := s.Pop()
+		if oka != okb || ra != rb {
+			t.Fatalf("op %d: pop diverged: (%v,%v) vs (%v,%v)", i, ra, oka, rb, okb)
+		}
+	}
+	if a, b := q.Stats(), s.Stats(); a != b {
+		t.Fatalf("stats diverged: %+v vs %+v", a, b)
+	}
+	if a, b := q.Drain(), s.Drain(); len(a) != len(b) {
+		t.Fatalf("drain diverged: %d vs %d", len(a), len(b))
+	}
+}

@@ -1,0 +1,204 @@
+// Package parallel is the experiment runner's scheduling fabric: a
+// bounded worker pool that fans independent simulation cells out to
+// goroutines and merges their results in canonical (input) order, so a
+// parallel run's output is byte-for-byte identical to a serial run's.
+//
+// Determinism is structural, not accidental. Every job writes only its
+// own slot of a pre-allocated results slice, the merge order is the
+// input order regardless of completion order, and when several jobs
+// fail the error reported is always the lowest-indexed one — exactly
+// what a serial loop would have returned first. Nothing downstream can
+// observe scheduling.
+//
+// The pool deliberately holds no global state: each Run call owns its
+// goroutines and channels, so nested or concurrent Runs (experiments
+// inside experiments) compose without a shared semaphore. A Meter can
+// be attached to accumulate wall/work time across many Runs and report
+// the effective parallelism (average cells in flight).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool configures one fan-out. The zero value runs with GOMAXPROCS
+// workers and no metering.
+type Pool struct {
+	// Workers bounds concurrency; <= 0 selects runtime.GOMAXPROCS(0).
+	// Workers == 1 degenerates to a serial loop (same code path, same
+	// output).
+	Workers int
+	// Meter, when non-nil, accumulates job counts and durations across
+	// every Run using this pool.
+	Meter *Meter
+}
+
+func (p Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run maps fn over items on up to p.Workers goroutines and returns the
+// results in input order. fn receives the item's index and value; it
+// must not touch state shared with other jobs (each simulation cell
+// owns its chip, ports and RNG).
+//
+// On failure Run returns the error of the lowest-indexed failing job —
+// the one a serial loop would have hit first — and jobs that have not
+// started yet are skipped. Results of successful jobs that ran before
+// the failure are discarded with the error, matching serial semantics.
+func Run[T, R any](p Pool, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]R, n)
+	errs := make([]error, n)
+	workers := p.workers(n)
+
+	// failed tracks the lowest failing index so far (n = none). Jobs
+	// above it are skipped — a serial loop would never have reached
+	// them — while jobs below it still run, because one of them may
+	// fail too and become the error a serial loop reports first.
+	var failed atomic.Int64
+	failed.Store(int64(n))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if int64(i) > failed.Load() {
+					continue // drain without running: an earlier job failed
+				}
+				start := time.Now()
+				r, err := safeCall(fn, i, items[i])
+				p.Meter.add(time.Since(start))
+				if err != nil {
+					errs[i] = err
+					for { // CAS-min: record the lowest failing index
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs { // lowest index wins: serial error order
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// safeCall shields the pool from a panicking job: the panic is turned
+// into an error on the job's own slot so sibling goroutines shut down
+// cleanly instead of crashing the process mid-merge.
+func safeCall[T, R any](fn func(int, T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("parallel: job %d panicked: %v", i, p)
+		}
+	}()
+	return fn(i, item)
+}
+
+// Meter accumulates scheduling statistics across Runs: how many jobs
+// executed, how much simulated-work CPU time they consumed, and how
+// much wall time elapsed since Start. Safe for concurrent use.
+type Meter struct {
+	mu    sync.Mutex
+	jobs  int
+	work  time.Duration
+	start time.Time
+}
+
+// NewMeter returns a running meter (wall clock starts now).
+func NewMeter() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// Restart zeroes the counters and restarts the wall clock.
+func (m *Meter) Restart() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.jobs, m.work, m.start = 0, 0, time.Now()
+	m.mu.Unlock()
+}
+
+func (m *Meter) add(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.jobs++
+	m.work += d
+	m.mu.Unlock()
+}
+
+// Stats is a point-in-time summary of a meter.
+type Stats struct {
+	Jobs int           // simulation cells executed
+	Wall time.Duration // elapsed wall time since Start/Restart
+	Work time.Duration // summed per-cell elapsed times (aggregate in-flight time)
+}
+
+// Parallelism is the effective parallelism: aggregate in-flight cell
+// time divided by wall time, i.e. how many cells were running
+// concurrently on average. 1.0 means no overlap (serial).
+//
+// This approximates speedup over a serial run only when each worker
+// has a core to itself: per-cell time is goroutine *elapsed* time, so
+// when workers oversubscribe the CPUs it includes time spent
+// descheduled and overstates the work. True speedup is wall time of a
+// Workers:1 run over wall time of the parallel run — see the
+// FullSuiteSerial/FullSuiteParallel benchmark pair.
+func (s Stats) Parallelism() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return s.Work.Seconds() / s.Wall.Seconds()
+}
+
+// String renders the one-line summary the CLIs print.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d runs in %.2fs wall (%.2fs aggregate cell time, %.2fx parallelism)",
+		s.Jobs, s.Wall.Seconds(), s.Work.Seconds(), s.Parallelism())
+}
+
+// Stats snapshots the meter. A nil meter reports zeros.
+func (m *Meter) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Jobs: m.jobs, Wall: time.Since(m.start), Work: m.work}
+}

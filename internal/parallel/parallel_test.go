@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderIsCanonical(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Run(Pool{Workers: workers}, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunSerialExecutesInInputOrder(t *testing.T) {
+	var order []int
+	_, err := Run(Pool{Workers: 1}, []int{0, 1, 2, 3, 4}, func(i, _ int) (int, error) {
+		order = append(order, i)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution order %v", order)
+		}
+	}
+}
+
+func TestRunReportsLowestIndexedError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	// Job 7 fails fast, job 2 fails slow: the reported error must still
+	// be job 2's (what a serial loop would have returned).
+	_, err := Run(Pool{Workers: 8}, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(i, _ int) (int, error) {
+		switch i {
+		case 2:
+			time.Sleep(20 * time.Millisecond)
+			return 0, errA
+		case 7:
+			return 0, errB
+		}
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want lowest-indexed error %v", err, errA)
+	}
+}
+
+func TestRunRecoversJobPanic(t *testing.T) {
+	_, err := Run(Pool{Workers: 4}, []int{0, 1, 2}, func(i, _ int) (int, error) {
+		if i == 1 {
+			panic("boom")
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	_, err := Run(Pool{Workers: workers}, make([]int, 64), func(int, int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", p, workers)
+	}
+}
+
+func TestRunEmptyAndDefaults(t *testing.T) {
+	got, err := Run(Pool{}, nil, func(int, int) (int, error) { return 1, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+	// Zero-value pool must still run (GOMAXPROCS workers).
+	out, err := Run(Pool{}, []int{1, 2, 3}, func(_, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("zero pool: %v, %v", out, err)
+	}
+}
+
+func TestMeterAccumulatesAcrossRuns(t *testing.T) {
+	m := NewMeter()
+	p := Pool{Workers: 2, Meter: m}
+	for round := 0; round < 3; round++ {
+		if _, err := Run(p, []int{0, 1}, func(int, int) (int, error) {
+			time.Sleep(2 * time.Millisecond)
+			return 0, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Jobs != 6 {
+		t.Fatalf("jobs = %d, want 6", st.Jobs)
+	}
+	if st.Work < 6*2*time.Millisecond {
+		t.Fatalf("work %v below the slept floor", st.Work)
+	}
+	if st.Wall <= 0 {
+		t.Fatalf("wall %v", st.Wall)
+	}
+	if s := st.String(); !strings.Contains(s, "6 runs") {
+		t.Fatalf("summary %q", s)
+	}
+	m.Restart()
+	if st := m.Stats(); st.Jobs != 0 || st.Work != 0 {
+		t.Fatalf("restart did not zero: %+v", st)
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Restart()
+	if st := m.Stats(); st.Jobs != 0 || st.Parallelism() != 0 {
+		t.Fatalf("nil meter stats %+v", st)
+	}
+	if _, err := Run(Pool{Workers: 2, Meter: nil}, []int{1}, func(_, v int) (int, error) { return v, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunIsolationUnderRace hammers a fan-out whose jobs each own
+// private state; run with -race this is the package's self-check that
+// the pool adds no sharing of its own.
+func TestRunIsolationUnderRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ { // nested/concurrent Runs must compose
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out, err := Run(Pool{Workers: 4}, make([]int, 32), func(i, _ int) (string, error) {
+				buf := make([]byte, 0, 8)
+				buf = append(buf, byte(g), byte(i))
+				return fmt.Sprintf("%x", buf), nil
+			})
+			if err != nil || len(out) != 32 {
+				t.Errorf("group %d: %v %d", g, err, len(out))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 	"indra/internal/attack"
 	"indra/internal/chip"
 	"indra/internal/netsim"
+	"indra/internal/parallel"
 )
 
 // Detection latency: how long a malicious request lives — from its
@@ -32,13 +33,17 @@ type LatencyResult struct {
 }
 
 // DetectionLatency runs each attack class against a service and
-// measures the malicious request's lifetime.
+// measures the malicious request's lifetime. Each class is an
+// independent cell.
 func DetectionLatency(o ExpOptions) (*LatencyResult, error) {
 	o = o.fill()
 	const service = "httpd"
-	res := &LatencyResult{Service: service}
 
-	for _, kind := range attack.Kinds() {
+	type out struct {
+		rows   []LatencyRow
+		meanRT float64
+	}
+	outs, err := parallel.Run(o.pool(), attack.Kinds(), func(_ int, kind attack.Kind) (out, error) {
 		cfg := chip.DefaultConfig()
 		cfg.Recovery.InstrBudget = 1_000_000
 		run, err := RunService(service, Options{
@@ -50,20 +55,29 @@ func DetectionLatency(o ExpOptions) (*LatencyResult, error) {
 			AttackAfter: 2,
 		})
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
-		res.MeanRT = run.Summary.MeanRT
+		c := out{meanRT: run.Summary.MeanRT}
 		for _, rec := range run.Port.Records() {
 			if rec.Outcome != netsim.Aborted {
 				continue
 			}
 			row := LatencyRow{Attack: kind, Cycles: rec.RespondAt - rec.RecvAt}
-			if res.MeanRT > 0 {
-				row.ShareOfRequest = float64(row.Cycles) / res.MeanRT
+			if c.meanRT > 0 {
+				row.ShareOfRequest = float64(row.Cycles) / c.meanRT
 			}
-			res.Rows = append(res.Rows, row)
+			c.rows = append(c.rows, row)
 			break // first aborted request is the injected exploit
 		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &LatencyResult{Service: service}
+	for _, c := range outs {
+		res.MeanRT = c.meanRT // the serial loop kept the last class's mean
+		res.Rows = append(res.Rows, c.rows...)
 	}
 	return res, nil
 }
