@@ -10,7 +10,9 @@
 // Experiments: table2 table3 table4 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 fig16, or "all". Scale 1.0 is the calibrated 1/10-paper request
 // length; -scale 10 restores the paper's full instruction intervals
-// (slower).
+// (slower). -faults is shorthand for -experiment faultsweep, the
+// protection-layer fault-injection sweep (detection coverage and
+// availability versus injection rate, per service).
 //
 // Every experiment fans its independent (service, config) simulation
 // cells out to -workers goroutines (default GOMAXPROCS) and merges
@@ -31,7 +33,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment id (table2..4, fig9..16, ablation-line/cam/monitor/rollback/space, all)")
+		exp      = flag.String("experiment", "all", "experiment id (table2..4, fig9..16, ablation-line/cam/monitor/rollback/space, faultsweep, all)")
+		faults   = flag.Bool("faults", false, "run the fault-injection sweep (shorthand for -experiment faultsweep)")
 		requests = flag.Int("requests", 8, "legitimate requests per service")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = 1/10 paper)")
 		seed     = flag.Uint("seed", 1, "request stream seed")
@@ -67,9 +70,13 @@ func main() {
 		{"availability", func() (string, error) { r, err := indra.Availability(o); return fmtOr(r, err) }},
 		{"latency", func() (string, error) { r, err := indra.DetectionLatency(o); return fmtOr(r, err) }},
 		{"ablation-bpred", func() (string, error) { r, err := indra.AblationBPred(o); return fmtOr(r, err) }},
+		{"faultsweep", func() (string, error) { r, err := indra.FaultSweep(o); return fmtOr(r, err) }},
 	}
 
 	want := strings.ToLower(*exp)
+	if *faults {
+		want = "faultsweep"
+	}
 	ran := false
 	for _, r := range runners {
 		if want != "all" && want != r.id {

@@ -9,6 +9,15 @@
 //	indrasim -service bind -requests 8 -attack stack-smash,dos-crash
 //	indrasim -service nfs -scheme software-pagecopy -monitor=false
 //	indrasim -service ftpd,httpd,bind -isolate -workers 3
+//	indrasim -service httpd -inject fifo-corrupt:1e-3,monitor-stall:0.01:200000
+//	indrasim -service bind -inject monitor-stall:1 -heartbeat 20000 -degrade fail-open
+//
+// -inject arms protection-layer fault sites (site:rate[:stallCycles]
+// [@from-to], comma-separated; sites: fifo-corrupt, fifo-drop,
+// ckpt-bitvec, ckpt-line, monitor-stall, dram-read). -fifo-policy,
+// -heartbeat and -degrade select the resurrector's self-protection
+// posture; injected faults and protection events are reported after
+// the run.
 //
 // A comma-separated -service list is time-multiplexed on one
 // resurrectee core by default; with -isolate each service instead gets
@@ -27,6 +36,7 @@ import (
 	"indra/internal/attack"
 	"indra/internal/checkpoint"
 	"indra/internal/chip"
+	"indra/internal/faultinject"
 	"indra/internal/netsim"
 	"indra/internal/parallel"
 	"indra/internal/workload"
@@ -47,6 +57,14 @@ func main() {
 		verbose  = flag.Bool("v", false, "print boot sequence and per-request records")
 		isolate  = flag.Bool("isolate", false, "give each -service its own chip instead of time-multiplexing one core")
 		workers  = flag.Int("workers", 0, "concurrent chips with -isolate (0 = GOMAXPROCS)")
+
+		inject     = flag.String("inject", "", "fault plans, site:rate[:stallCycles][@from-to] comma-separated (sites: fifo-corrupt, fifo-drop, ckpt-bitvec, ckpt-line, monitor-stall, dram-read)")
+		injectSeed = flag.Uint64("inject-seed", 1, "base seed for -inject plans")
+		fifoPolicy = flag.String("fifo-policy", "stall", "full-FIFO backpressure: stall (block the resurrectee) or drop (shed the record)")
+		dropLimit  = flag.Uint64("fifo-drop-limit", 0, "dropped records per slot before degradation (0 = unlimited)")
+		heartbeat  = flag.Uint64("heartbeat", 0, "monitor heartbeat interval in cycles (0 = disabled)")
+		missLimit  = flag.Uint64("heartbeat-misses", 0, "heartbeat misses before degradation (0 = escalate but never degrade)")
+		degrade    = flag.String("degrade", "fail-closed", "degradation mode: fail-closed (halt the service) or fail-open (serve unmonitored)")
 	)
 	flag.Parse()
 
@@ -68,6 +86,31 @@ func main() {
 		cfg.Scheme = chip.SchemeNone
 	default:
 		fatalf("unknown scheme %q", *scheme)
+	}
+
+	plans, err := faultinject.ParsePlans(*inject, *injectSeed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Faults = plans
+	switch *fifoPolicy {
+	case "stall":
+		cfg.FIFOPolicy = chip.FIFOStall
+	case "drop":
+		cfg.FIFOPolicy = chip.FIFODrop
+	default:
+		fatalf("unknown -fifo-policy %q (stall or drop)", *fifoPolicy)
+	}
+	cfg.FIFODropLimit = *dropLimit
+	cfg.HeartbeatInterval = *heartbeat
+	cfg.HeartbeatMissLimit = *missLimit
+	switch *degrade {
+	case "fail-closed":
+		cfg.Degradation = chip.DegradeFailClosed
+	case "fail-open":
+		cfg.Degradation = chip.DegradeFailOpen
+	default:
+		fatalf("unknown -degrade %q (fail-closed or fail-open)", *degrade)
 	}
 
 	var kinds []attack.Kind
@@ -141,6 +184,7 @@ func main() {
 		fmt.Printf("recoveries: %d micro, %d macro, %d liveness kills (%d cycles total)\n",
 			rec.MicroRecoveries, rec.MacroRecoveries, rec.BudgetKills, rec.RecoveryCycles)
 	}
+	printProtection(run.Chip, *verbose)
 
 	if *verbose {
 		fmt.Println("\nper-request log:")
@@ -222,6 +266,32 @@ func runMultiplexed(cfg chip.Config, services []string, requests int, seed uint3
 			s.name, sum.Served, sum.Total, sum.MeanRT, s.port.Percentile(0.95))
 	}
 	fmt.Printf("violations: %d; recoveries: %+v\n", len(ch.Violations()), ch.Recovery().Stats())
+	printProtection(ch, false)
+}
+
+// printProtection reports fault-injection hits and the self-protection
+// layer's activity; silent when nothing was armed and nothing fired.
+func printProtection(ch *chip.Chip, verbose bool) {
+	fs := ch.FaultStats()
+	if hits := fs.TotalHits(); hits > 0 {
+		fmt.Printf("\ninjected faults (%d):\n", hits)
+		for _, site := range faultinject.Sites() {
+			if st := fs[site]; st.Hits > 0 {
+				fmt.Printf("  %-13s %d of %d events\n", site, st.Hits, st.Events)
+			}
+		}
+	}
+	ps := ch.ProtectionStats()
+	if ps != (chip.ProtectionStats{}) {
+		fmt.Printf("self-protection: %d dropped records, %d heartbeat misses, %d macro escalations, %d micro fallbacks, %d degradations\n",
+			ps.DroppedRecords, ps.HeartbeatMisses, ps.MacroEscalations, ps.MicroFallbacks, ps.Degradations)
+	}
+	if log := ch.ProtectionLog(); len(log) > 0 && verbose {
+		fmt.Println("protection events:")
+		for _, e := range log {
+			fmt.Println("  " + e)
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

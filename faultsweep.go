@@ -1,0 +1,210 @@
+package indra
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"indra/internal/attack"
+	"indra/internal/chip"
+	"indra/internal/faultinject"
+	"indra/internal/netsim"
+	"indra/internal/parallel"
+	"indra/internal/workload"
+)
+
+// The FaultSweep experiment turns the fault injector on the protection
+// layer itself: every fault site (trace-FIFO corruption and drops,
+// checkpoint bitvector and backup-line flips, monitor stalls, DRAM read
+// faults on rollback) is armed at a common per-event rate, and each
+// service is driven through its legitimate request stream followed by
+// the three code-attack classes. The sweep reports, per (service,
+// rate): how many faults actually struck, how many detections fired
+// (true and spurious), whether each attack class was still stopped, and
+// the availability of the legitimate stream — the dependability-of-the-
+// dependability-layer curve the paper's fault-free evaluation does not
+// cover. Self-protection (monitor heartbeat plus Figure-8 escalation)
+// is armed so the sweep also exercises the chip's own recovery from
+// protection-layer faults.
+
+// FaultSweepRates is the injection-rate axis. Rate 0 is the control
+// column: plans are armed but never fire, and every metric must be
+// bit-identical to an unarmed run (faultsweep_test.go holds this).
+var FaultSweepRates = []float64{0, 1e-4, 1e-3, 1e-2}
+
+// faultSweepHeartbeat is the monitor-liveness interval armed during the
+// sweep; generous enough that only injected stalls (50k+ cycles) can
+// trip it.
+const faultSweepHeartbeat = 200_000
+
+// FaultSweepRow is one (service, rate) cell's outcome.
+type FaultSweepRow struct {
+	Service        string
+	Rate           float64
+	InjectedFaults uint64 // fault-site hits that actually struck
+	Detections     int    // monitor violations (true and spurious)
+	AttacksStopped int    // of AttackClasses
+	LegitServed    int
+	LegitTotal     int
+	Availability   float64
+	Degraded       bool
+	Truncated      bool // cell hit its instruction cap
+}
+
+// FaultSweepResult holds the sweep in service-major order.
+type FaultSweepResult struct {
+	Rows []FaultSweepRow
+}
+
+// AttackClasses lists the code-attack classes the sweep measures
+// detection coverage over; FptrHijack implies its trigger stage.
+var AttackClasses = []attack.Kind{attack.StackSmash, attack.InjectCode, attack.FptrHijack}
+
+// faultSweepPlans arms every fault site at rate, seeded from the cell
+// identity so each cell's fault pattern is fixed under any worker
+// count.
+func faultSweepPlans(rate float64, seedBase uint64) []faultinject.Plan {
+	sites := faultinject.Sites()
+	plans := make([]faultinject.Plan, 0, len(sites))
+	for i, site := range sites {
+		plans = append(plans, faultinject.Plan{
+			Site: site,
+			Rate: rate,
+			Seed: seedBase + uint64(i),
+		})
+	}
+	return plans
+}
+
+// stoppedClasses counts attack classes with at least one aborted
+// request (the hijack's corrupting first stage is behaviourally silent;
+// stopping its trigger stops the class).
+func stoppedClasses(records []*netsim.RequestRecord) int {
+	classLabels := map[attack.Kind][]string{
+		attack.StackSmash: {string(attack.StackSmash)},
+		attack.InjectCode: {string(attack.InjectCode)},
+		attack.FptrHijack: {string(attack.FptrHijack), string(attack.FptrTrigger)},
+	}
+	stopped := 0
+	for _, class := range AttackClasses {
+		for _, rec := range records {
+			hit := false
+			for _, label := range classLabels[class] {
+				if rec.Label == label && rec.Outcome == netsim.Aborted {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				stopped++
+				break
+			}
+		}
+	}
+	return stopped
+}
+
+// FaultSweep runs the sweep. Each (service, rate) pair is an
+// independent cell building its own chip, injector and request stream.
+func FaultSweep(o ExpOptions) (*FaultSweepResult, error) {
+	o = o.fill()
+	type cell struct {
+		service string
+		svcIdx  int
+		rateIdx int
+	}
+	var cells []cell
+	for si, name := range workload.Names() {
+		for ri := range FaultSweepRates {
+			cells = append(cells, cell{name, si, ri})
+		}
+	}
+	rows, err := parallel.Run(o.pool(), cells, func(_ int, c cell) (FaultSweepRow, error) {
+		rate := FaultSweepRates[c.rateIdx]
+		params := workload.MustByName(c.service)
+		if o.Scale != 1.0 {
+			params = params.Scale(o.Scale)
+		}
+		prog, err := params.BuildProgram()
+		if err != nil {
+			return FaultSweepRow{}, err
+		}
+		stream := params.GenRequests(o.Requests, o.Seed)
+		for _, class := range AttackClasses {
+			seq, err := attack.Sequence(class, prog)
+			if err != nil {
+				return FaultSweepRow{}, err
+			}
+			stream = append(stream, seq...)
+		}
+
+		cfg := chip.DefaultConfig()
+		seedBase := uint64(o.Seed)<<32 | uint64(c.svcIdx)<<16 | uint64(c.rateIdx)<<8
+		cfg.Faults = faultSweepPlans(rate, seedBase)
+		cfg.HeartbeatInterval = faultSweepHeartbeat
+		ch, err := chip.New(cfg)
+		if err != nil {
+			return FaultSweepRow{}, err
+		}
+		port := netsim.NewPort(stream)
+		if _, err := ch.LaunchService(0, c.service, prog, port); err != nil {
+			return FaultSweepRow{}, err
+		}
+		// Cells are capped so a pathological fault pattern (e.g. a lost
+		// rollback bit leaving a service looping) still yields a row.
+		res, err := ch.Run(50_000_000)
+		truncated := errors.Is(err, chip.ErrInstrLimit)
+		if err != nil && !truncated {
+			return FaultSweepRow{}, err
+		}
+
+		row := FaultSweepRow{
+			Service:        c.service,
+			Rate:           rate,
+			InjectedFaults: ch.FaultStats().TotalHits(),
+			Detections:     res.Violations,
+			AttacksStopped: stoppedClasses(port.Records()),
+			Degraded:       ch.Degraded(0),
+			Truncated:      truncated,
+		}
+		for _, rec := range port.Records() {
+			if rec.Label != "legit" {
+				continue
+			}
+			row.LegitTotal++
+			if rec.Outcome == netsim.Served {
+				row.LegitServed++
+			}
+		}
+		if row.LegitTotal > 0 {
+			row.Availability = float64(row.LegitServed) / float64(row.LegitTotal)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FaultSweepResult{Rows: rows}, nil
+}
+
+// Format renders the sweep as text.
+func (r *FaultSweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FaultSweep: protection-layer fault injection (all %d sites armed per rate)\n", len(faultinject.Sites()))
+	fmt.Fprintf(&b, "%-10s %8s %8s %11s %9s %13s %7s %9s\n",
+		"service", "rate", "faults", "detections", "stopped", "legit served", "avail%", "state")
+	for _, row := range r.Rows {
+		state := "ok"
+		switch {
+		case row.Degraded:
+			state = "degraded"
+		case row.Truncated:
+			state = "truncated"
+		}
+		fmt.Fprintf(&b, "%-10s %8.0e %8d %11d %6d/%d %9d/%-3d %7.1f %9s\n",
+			row.Service, row.Rate, row.InjectedFaults, row.Detections,
+			row.AttacksStopped, len(AttackClasses),
+			row.LegitServed, row.LegitTotal, row.Availability*100, state)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package indra
+
+import (
+	"testing"
+
+	"indra/internal/attack"
+	"indra/internal/chip"
+	"indra/internal/netsim"
+	"indra/internal/workload"
+)
+
+// runSweepLikeCell mirrors one FaultSweep cell's chip construction and
+// stream, with the caller controlling the protection config.
+func runSweepLikeCell(t *testing.T, service string, o ExpOptions, shape func(*chip.Config)) (*chip.Chip, *netsim.Port, chip.RunResult) {
+	t.Helper()
+	params := workload.MustByName(service)
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := params.GenRequests(o.Requests, o.Seed)
+	for _, class := range AttackClasses {
+		seq, err := attack.Sequence(class, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, seq...)
+	}
+	cfg := chip.DefaultConfig()
+	if shape != nil {
+		shape(&cfg)
+	}
+	ch, err := chip.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort(stream)
+	if _, err := ch.LaunchService(0, service, prog, port); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch, port, res
+}
+
+// TestFaultSweepZeroRateMatchesUnarmed is the sweep's control-column
+// guarantee: a cell with every site armed at rate 0 (plus the armed
+// heartbeat) is cycle-for-cycle identical to a chip with no fault
+// injection at all.
+func TestFaultSweepZeroRateMatchesUnarmed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cell runs are not short")
+	}
+	o := ExpOptions{Requests: 3, Scale: 1.0, Seed: 1}.fill()
+	for _, service := range []string{"httpd", "bind"} {
+		_, armedPort, armedRes := runSweepLikeCell(t, service, o, func(cfg *chip.Config) {
+			cfg.Faults = faultSweepPlans(0, 7)
+			cfg.HeartbeatInterval = faultSweepHeartbeat
+		})
+		_, barePort, bareRes := runSweepLikeCell(t, service, o, nil)
+		if armedRes != bareRes {
+			t.Fatalf("%s: rate-0 injection changed the run: %+v vs %+v", service, armedRes, bareRes)
+		}
+		if armedPort.Summarize() != barePort.Summarize() {
+			t.Fatalf("%s: rate-0 injection changed outcomes: %+v vs %+v",
+				service, armedPort.Summarize(), barePort.Summarize())
+		}
+	}
+}
+
+// TestFaultSweepCoverageFloor is the acceptance bar: at the sweep's
+// nonzero rates every code-attack class must still be stopped for every
+// service — protection-layer faults may cost availability, never
+// detection of these exploits at these rates.
+func TestFaultSweepCoverageFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is not short")
+	}
+	res, err := FaultSweep(ExpOptions{Requests: 3, Scale: 1.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(workload.Names()) * len(FaultSweepRates); len(res.Rows) != want {
+		t.Fatalf("rows %d, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if row.AttacksStopped != len(AttackClasses) {
+			t.Errorf("%s @ %g: only %d/%d attacks stopped",
+				row.Service, row.Rate, row.AttacksStopped, len(AttackClasses))
+		}
+		if row.Rate == 0 {
+			if row.InjectedFaults != 0 || row.Availability != 1 {
+				t.Errorf("%s control row not clean: %+v", row.Service, row)
+			}
+		}
+	}
+}

@@ -61,6 +61,7 @@ func goldenCases() []goldenCase {
 		{"ablation-bpred", fmtExp(AblationBPred)},
 		{"availability", fmtExp(Availability)},
 		{"latency", fmtExp(DetectionLatency)},
+		{"faultsweep", fmtExp(FaultSweep)},
 	}
 }
 

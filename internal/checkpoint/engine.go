@@ -16,6 +16,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Memory is the engine's view of the application's virtual memory. The
@@ -26,6 +27,24 @@ type Memory interface {
 	ReadLine(va uint32, buf []byte)
 	// WriteLine stores data at virtual address va.
 	WriteLine(va uint32, data []byte)
+}
+
+// Tamperer is a fault-injection hook into the engine's storage. The
+// chip implements it with an adapter over internal/faultinject (the
+// engine cannot import that package without a cycle); a nil tamperer —
+// the default — costs nothing and changes nothing. Each method may
+// mutate its arguments in place to model a transient hardware fault:
+//
+//   - TamperBackup sees a backup line right after the pre-image copy.
+//   - TamperBitvec sees a page's dirty/rollback bitvector words while
+//     Fail processes that page; nbits bounds the meaningful bits.
+//   - TamperRestore sees the staged line about to be written back
+//     during lazy rollback (the backup page itself stays intact, as a
+//     DRAM read fault corrupts the wire, not the cell).
+type Tamperer interface {
+	TamperBackup(line []byte)
+	TamperBitvec(dirty, rollback []uint64, nbits int)
+	TamperRestore(line []byte)
 }
 
 // CostFunc prices a line transfer of n bytes touching backing storage.
@@ -99,6 +118,7 @@ type Engine struct {
 	stats     Stats
 	lineShift uint32
 	pageMask  uint32
+	tamper    Tamperer
 
 	// pageTouchedThisEra tracks whether the DirtyPageTouches counter has
 	// been bumped for a page in the current era, keyed by page VA and
@@ -135,6 +155,12 @@ func NewEngine(cfg Config, mem Memory, cost CostFunc) (*Engine, error) {
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetTamperer installs (or, with nil, removes) the fault-injection
+// hook. Tampering with checkpoint storage is only meaningful when
+// deterministic: paths that visit pages in bulk iterate them in sorted
+// VA order so the tamperer's event stream is reproducible.
+func (e *Engine) SetTamperer(t Tamperer) { e.tamper = t }
 
 // GTS returns the current global timestamp.
 func (e *Engine) GTS() uint64 { return e.gts }
@@ -217,6 +243,9 @@ func (e *Engine) PreStore(va uint32) uint64 {
 		off := uint32(l) << e.lineShift
 		e.mem.ReadLine(e.lineVA(page, l), e.lineBuf)
 		copy(rec.backup[off:off+e.cfg.LineBytes], e.lineBuf)
+		if e.tamper != nil {
+			e.tamper.TamperBackup(rec.backup[off : off+e.cfg.LineBytes])
+		}
 		rec.dirty.Set(l)
 		e.stats.LineBackups++
 		c := e.cost(e.cfg.LineBytes)
@@ -246,7 +275,15 @@ func (e *Engine) PreLoad(va uint32) uint64 {
 
 func (e *Engine) restoreLine(rec *pageRecord, page uint32, l int) {
 	off := uint32(l) << e.lineShift
-	e.mem.WriteLine(e.lineVA(page, l), rec.backup[off:off+e.cfg.LineBytes])
+	line := rec.backup[off : off+e.cfg.LineBytes]
+	if e.tamper != nil {
+		// Stage through lineBuf so a read fault corrupts only this
+		// restoration, never the backup cell itself.
+		copy(e.lineBuf, line)
+		e.tamper.TamperRestore(e.lineBuf)
+		line = e.lineBuf
+	}
+	e.mem.WriteLine(e.lineVA(page, l), line)
 	rec.rollback.Clear(l)
 	if !rec.rollback.Any() {
 		rec.rollbackVld = false
@@ -281,7 +318,8 @@ func (e *Engine) markTouched(page uint32) {
 func (e *Engine) Fail() uint64 {
 	e.stats.Failures++
 	var cycles uint64
-	for _, rec := range e.pages {
+	for _, page := range e.sortedPages() {
+		rec := e.pages[page]
 		if rec.lts != e.gts || rec.backup == nil {
 			continue
 		}
@@ -290,10 +328,26 @@ func (e *Engine) Fail() uint64 {
 			rec.dirty.Reset()
 			rec.rollbackVld = true
 		}
+		if e.tamper != nil {
+			e.tamper.TamperBitvec(rec.dirty, rec.rollback, e.cfg.LinesPerPage())
+			rec.rollbackVld = rec.rollback.Any()
+		}
 		cycles += 2 // bitvector OR + clear: trivial hardware cost per page
 	}
 	e.stats.RollbackCycles += cycles
 	return cycles
+}
+
+// sortedPages returns every tracked page base in ascending VA order.
+// Bulk paths iterate this instead of the map so fault injection sees a
+// reproducible event stream regardless of map layout.
+func (e *Engine) sortedPages() []uint32 {
+	pages := make([]uint32, 0, len(e.pages))
+	for page := range e.pages {
+		pages = append(pages, page)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
 }
 
 // PendingRollbacks returns the number of lines whose restoration is
@@ -327,7 +381,8 @@ func (e *Engine) TrackedPages() int {
 // macro (application-level) checkpoint restoration uses it to reach a
 // consistent memory image.
 func (e *Engine) DrainRollbacks() (lines int, cycles uint64) {
-	for page, rec := range e.pages {
+	for _, page := range e.sortedPages() {
+		rec := e.pages[page]
 		if !rec.rollbackVld {
 			continue
 		}

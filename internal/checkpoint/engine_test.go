@@ -385,3 +385,153 @@ func TestStatsSnapshot(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", s)
 }
+
+// recordingTamperer logs hook invocations and applies scripted faults.
+type recordingTamperer struct {
+	backups, restores, bitvecs int
+	corruptBackup              bool // flip byte 0 of backup lines
+	corruptRestore             bool // flip byte 0 of restored lines
+	flipRollbackBit            int  // rollback bit to toggle in TamperBitvec (-1 = off)
+}
+
+func (r *recordingTamperer) TamperBackup(line []byte) {
+	r.backups++
+	if r.corruptBackup {
+		line[0] ^= 0xFF
+	}
+}
+
+func (r *recordingTamperer) TamperRestore(line []byte) {
+	r.restores++
+	if r.corruptRestore {
+		line[0] ^= 0xFF
+	}
+}
+
+func (r *recordingTamperer) TamperBitvec(dirty, rollback []uint64, nbits int) {
+	r.bitvecs++
+	if r.flipRollbackBit >= 0 && r.flipRollbackBit < nbits {
+		rollback[r.flipRollbackBit/64] ^= 1 << (r.flipRollbackBit % 64)
+	}
+}
+
+// TestTampererHooksFire pins where each hook is invoked and that a nil
+// tamperer (the default) leaves behavior untouched.
+func TestTampererHooksFire(t *testing.T) {
+	m := newFlatMemory(2 * 4096)
+	e := newTestEngine(t, m)
+	rt := &recordingTamperer{flipRollbackBit: -1}
+	e.SetTamperer(rt)
+
+	store(e, m, 4096, 11)
+	if rt.backups != 1 {
+		t.Fatalf("backup hook fired %d times", rt.backups)
+	}
+	store(e, m, 4096, 12) // same line, same era: no new backup
+	if rt.backups != 1 {
+		t.Fatalf("backup hook fired on an already-dirty line")
+	}
+	e.IncrementGTS() // commit 12
+	store(e, m, 4096, 13)
+	if rt.backups != 2 {
+		t.Fatalf("backup hook fired %d times after new era", rt.backups)
+	}
+	e.Fail()
+	if rt.bitvecs != 1 {
+		t.Fatalf("bitvec hook fired %d times", rt.bitvecs)
+	}
+	if got := load(e, m, 4096); got != 12 {
+		t.Fatalf("rollback read %d, want committed 12", got)
+	}
+	if rt.restores != 1 {
+		t.Fatalf("restore hook fired %d times", rt.restores)
+	}
+	e.SetTamperer(nil)
+	store(e, m, 4096+64, 14)
+	e.Fail()
+	if rt.backups != 2 || rt.bitvecs != 1 {
+		t.Fatal("hooks fired after SetTamperer(nil)")
+	}
+}
+
+// TestTamperRestorePreservesBackupCell models a DRAM *read* fault: the
+// restored line is corrupt, but the backup page's copy stays good, so
+// re-restoring the same line yields the true pre-image.
+func TestTamperRestorePreservesBackupCell(t *testing.T) {
+	m := newFlatMemory(2 * 4096)
+	e := newTestEngine(t, m)
+
+	store(e, m, 4096, 0xAA)
+	e.IncrementGTS()
+	rt := &recordingTamperer{corruptRestore: true, flipRollbackBit: -1}
+	e.SetTamperer(rt)
+
+	store(e, m, 4096, 0xBB)
+	e.Fail()
+	if got := load(e, m, 4096); got == 0xAA {
+		t.Fatal("restore was supposed to be corrupted")
+	}
+
+	// The backup cell itself is intact: the fault rode the read, not
+	// the storage. (White-box: byte 0 of line 0's backup still holds
+	// the committed pre-image.)
+	if b := e.pages[4096].backup[0]; b != 0xAA {
+		t.Fatalf("backup cell was damaged: holds %#x, want 0xAA", b)
+	}
+}
+
+// TestTamperBitvecLosesRestore models the missed-restore failure mode:
+// clearing a page's only rollback bit during Fail leaves the corrupted
+// value live — exactly the undetectable state the FaultSweep measures.
+func TestTamperBitvecLosesRestore(t *testing.T) {
+	m := newFlatMemory(2 * 4096)
+	e := newTestEngine(t, m)
+
+	store(e, m, 4096, 0xAA)
+	e.IncrementGTS()
+	e.SetTamperer(&recordingTamperer{flipRollbackBit: 0})
+	store(e, m, 4096, 0xBB)
+	e.Fail()
+	if e.PendingRollbacks() != 0 {
+		t.Fatalf("pending rollbacks %d after bit loss", e.PendingRollbacks())
+	}
+	if got := load(e, m, 4096); got != 0xBB {
+		t.Fatalf("lost rollback still restored: %#x", got)
+	}
+}
+
+// TestFailVisitsPagesInVAOrder pins the sorted iteration the injector's
+// determinism depends on.
+func TestFailVisitsPagesInVAOrder(t *testing.T) {
+	m := newFlatMemory(64 * 4096)
+	e := newTestEngine(t, m)
+	// Touch pages in a scrambled order.
+	for _, p := range []uint32{17, 3, 44, 9, 60, 1} {
+		store(e, m, p*4096, p)
+	}
+	var visited []int
+	e.SetTamperer(&tamperFunc{bitvec: func() { visited = append(visited, 0) }})
+	got := e.sortedPages()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("sortedPages out of order: %v", got)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("sortedPages returned %d pages", len(got))
+	}
+	e.Fail()
+	if len(visited) != 6 {
+		t.Fatalf("Fail visited %d pages", len(visited))
+	}
+}
+
+type tamperFunc struct{ bitvec func() }
+
+func (f *tamperFunc) TamperBackup([]byte)  {}
+func (f *tamperFunc) TamperRestore([]byte) {}
+func (f *tamperFunc) TamperBitvec(_, _ []uint64, _ int) {
+	if f.bitvec != nil {
+		f.bitvec()
+	}
+}

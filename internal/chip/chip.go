@@ -18,6 +18,7 @@ import (
 	"indra/internal/cpu"
 	"indra/internal/device"
 	"indra/internal/dram"
+	"indra/internal/faultinject"
 	"indra/internal/fifo"
 	"indra/internal/mem"
 	"indra/internal/monitor"
@@ -109,6 +110,27 @@ type Config struct {
 	// DrainInterval is how often (in instructions) the co-simulation
 	// lets the monitor catch up outside of FIFO pushes.
 	DrainInterval uint64
+
+	// Faults arms the deterministic fault-injection layer with plans
+	// targeting the protection machinery itself (nil = fault-free; see
+	// internal/faultinject).
+	Faults []faultinject.Plan
+	// FIFOPolicy selects the trace-FIFO overflow behavior (default
+	// FIFOStall, the paper's backpressure).
+	FIFOPolicy FIFOPolicy
+	// FIFODropLimit degrades a slot once more than this many records
+	// have been dropped by the FIFODrop policy (0 = never degrade).
+	FIFODropLimit uint64
+	// HeartbeatInterval arms the monitor-liveness watchdog: a trace
+	// record sitting unverified at the FIFO head for more than this many
+	// cycles escalates to macro recovery (0 = disabled).
+	HeartbeatInterval uint64
+	// HeartbeatMissLimit degrades a slot once its heartbeat has missed
+	// more than this many times (0 = never degrade).
+	HeartbeatMissLimit uint64
+	// Degradation selects the posture taken when protection is lost
+	// (default DegradeFailClosed: security over availability).
+	Degradation DegradationMode
 }
 
 // DefaultConfig mirrors the paper's evaluation platform: a dual-core
@@ -163,6 +185,11 @@ type Chip struct {
 	activeIdx int                  // resurrectee slot currently in a syscall
 
 	violationLog []*monitor.Violation
+
+	inj     *faultinject.Injector
+	hb      []*watchdog.Heartbeat // one per resurrector; nil entries = disabled
+	pstats  ProtectionStats
+	protLog []string
 }
 
 // slotState is the OS scheduling state of one resurrectee core: the
@@ -178,6 +205,12 @@ type slotState struct {
 	names     []string
 	active    int
 	switchReq bool
+
+	// Self-protection state: policy-dropped record count, and whether
+	// the slot has entered degraded mode (unmonitored = fail-open).
+	drops       uint64
+	degraded    bool
+	unmonitored bool
 }
 
 // activeProc returns the process owning the core (nil when empty).
@@ -243,6 +276,20 @@ func New(cfg Config) (*Chip, error) {
 	}
 	if cfg.MonitorPolicy != nil {
 		c.mon.Policy = *cfg.MonitorPolicy
+	}
+	if len(cfg.Faults) > 0 {
+		for _, p := range cfg.Faults {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		c.inj = faultinject.New(cfg.Faults...)
+	}
+	c.hb = make([]*watchdog.Heartbeat, cfg.Resurrectors)
+	if cfg.HeartbeatInterval > 0 {
+		for i := range c.hb {
+			c.hb[i] = watchdog.NewHeartbeat(cfg.HeartbeatInterval)
+		}
 	}
 	// The DRAM model is shared: all cores arbitrate for the same
 	// memory bus and banks.
@@ -397,6 +444,7 @@ func (c *Chip) LaunchService(slot int, name string, prog *asm.Program, port *net
 	if err != nil {
 		return nil, err
 	}
+	c.armTamperer(slot, p.Ckpt)
 	st := &c.slots[slot]
 	st.procs = append(st.procs, p)
 	st.ports = append(st.ports, port)
@@ -461,6 +509,7 @@ func (c *Chip) rebootSlot(idx int) error {
 	st.procs[i] = p
 	st.ctxs[i] = c.kern.InitialContext(p)
 	c.registerApp(st.names[i], st.progs[i], p)
+	c.armTamperer(idx, p.Ckpt)
 
 	core := c.cores[idx]
 	core.SetProcess(p.PID, p.AS)

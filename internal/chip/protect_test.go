@@ -1,0 +1,283 @@
+package chip
+
+import (
+	"errors"
+	"testing"
+
+	"indra/internal/attack"
+	"indra/internal/faultinject"
+	"indra/internal/monitor"
+	"indra/internal/netsim"
+	"indra/internal/trace"
+	"indra/internal/workload"
+)
+
+// buildConfigured is buildService with a caller-shaped config.
+func buildConfigured(t *testing.T, name string, requests int, shape func(*Config)) (*netsim.Port, *Chip) {
+	t.Helper()
+	params := workload.MustByName(name)
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if shape != nil {
+		shape(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort(params.GenRequests(requests, 1))
+	if _, err := c.LaunchService(0, name, prog, port); err != nil {
+		t.Fatal(err)
+	}
+	return port, c
+}
+
+// TestZeroRatePlansAreInert pins the FaultSweep baseline guarantee:
+// arming plans at rate 0 leaves the run bit-identical to an unarmed
+// chip — same cycles, same instructions, same request outcomes.
+func TestZeroRatePlansAreInert(t *testing.T) {
+	run := func(shape func(*Config)) (RunResult, netsim.Summary) {
+		port, c := buildConfigured(t, "httpd", 3, shape)
+		res, err := c.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, port.Summarize()
+	}
+	baseRes, baseSum := run(nil)
+	armRes, armSum := run(func(cfg *Config) {
+		for _, site := range faultinject.Sites() {
+			cfg.Faults = append(cfg.Faults, faultinject.Plan{Site: site, Rate: 0, Seed: 1})
+		}
+		cfg.HeartbeatInterval = 10_000_000 // armed but never reachable
+	})
+	if baseRes != armRes || baseSum != armSum {
+		t.Fatalf("rate-0 plans perturbed the run:\n%+v %+v\nvs\n%+v %+v",
+			baseRes, baseSum, armRes, armSum)
+	}
+}
+
+// TestFIFOCorruptionTriggersRecovery injects record bit flips at a high
+// rate and checks the self-protection loop closes: corruptions happen,
+// (possibly spurious) detections fire, recovery keeps the service
+// alive, and the chip's accounting sees all of it.
+func TestFIFOCorruptionTriggersRecovery(t *testing.T) {
+	port, c := buildConfigured(t, "httpd", 3, func(cfg *Config) {
+		cfg.Faults = []faultinject.Plan{{Site: faultinject.SiteFIFOCorrupt, Rate: 0.02, Seed: 3}}
+	})
+	_, err := c.Run(5_000_000)
+	if err != nil && !errors.Is(err, ErrInstrLimit) {
+		t.Fatal(err)
+	}
+	if c.ProtectionStats().InjectedCorrupts == 0 {
+		t.Fatal("no corruptions injected at rate 0.02")
+	}
+	if c.FaultStats()[faultinject.SiteFIFOCorrupt].Hits == 0 {
+		t.Fatal("injector stats disagree")
+	}
+	sum := port.Summarize()
+	if sum.Served == 0 {
+		t.Fatalf("service died under corruption: %+v", sum)
+	}
+}
+
+// TestInjectedDropsAreSilent: a dropped record never reaches the
+// monitor, so no stall, no verification, no detection — the blind spot
+// the FaultSweep quantifies.
+func TestInjectedDropsAreSilent(t *testing.T) {
+	_, c := buildConfigured(t, "bind", 0, func(cfg *Config) {
+		cfg.Faults = []faultinject.Plan{{Site: faultinject.SiteFIFODrop, Rate: 1, Seed: 9}}
+	})
+	rec := trace.Record{Kind: trace.KindCall, Core: 1, PID: c.Process(0).PID, Target: 0xBAD}
+	if s := c.emitTrace(0, rec); s != 0 {
+		t.Fatalf("dropped record stalled %d", s)
+	}
+	if c.queues[0].Len() != 0 {
+		t.Fatal("dropped record was enqueued")
+	}
+	if c.ProtectionStats().InjectedDrops != 1 {
+		t.Fatalf("stats %+v", c.ProtectionStats())
+	}
+}
+
+// fillFIFO pushes call records until the queue holds n entries.
+func fillFIFO(t *testing.T, c *Chip, n int) {
+	t.Helper()
+	rec := trace.Record{Kind: trace.KindCall, Core: 1, PID: c.Process(0).PID, Target: 4}
+	for i := 0; i < n; i++ {
+		c.emitTrace(0, rec)
+	}
+}
+
+// TestFIFODropPolicyShedsInsteadOfStalling pins the backpressure
+// choice: with FIFODrop a full queue sheds the incoming record at zero
+// stall; with FIFOStall (default) the same push waits for the monitor.
+func TestFIFODropPolicyShedsInsteadOfStalling(t *testing.T) {
+	slow := monitor.CostConfig{Call: 1000, Return: 1000, Origin: 1000, Control: 1000, Setjmp: 1000}
+	_, c := buildConfigured(t, "bind", 0, func(cfg *Config) {
+		cfg.FIFOEntries = 2
+		cfg.MonitorCosts = slow
+		cfg.FIFOPolicy = FIFODrop
+	})
+	fillFIFO(t, c, 2)
+	rec := trace.Record{Kind: trace.KindCall, Core: 1, PID: c.Process(0).PID, Target: 4}
+	if s := c.emitTrace(0, rec); s != 0 {
+		t.Fatalf("drop policy stalled %d cycles", s)
+	}
+	if got := c.ProtectionStats().DroppedRecords; got != 1 {
+		t.Fatalf("dropped %d records, want 1", got)
+	}
+	if c.queues[0].Len() != 2 {
+		t.Fatal("drop policy touched queued records")
+	}
+}
+
+// TestFIFODropLimitDegradesFailClosed crosses the drop limit and
+// expects the default posture: services halted, slot degraded.
+func TestFIFODropLimitDegradesFailClosed(t *testing.T) {
+	slow := monitor.CostConfig{Call: 1000, Return: 1000, Origin: 1000, Control: 1000, Setjmp: 1000}
+	_, c := buildConfigured(t, "bind", 0, func(cfg *Config) {
+		cfg.FIFOEntries = 2
+		cfg.MonitorCosts = slow
+		cfg.FIFOPolicy = FIFODrop
+		cfg.FIFODropLimit = 3
+	})
+	fillFIFO(t, c, 2+4) // 2 fill, 4 drops: limit 3 exceeded on the 4th
+	if !c.Degraded(0) {
+		t.Fatal("drop limit did not degrade the slot")
+	}
+	if !c.cores[0].Halted() || !c.Process(0).Halted {
+		t.Fatal("fail-closed degradation did not halt the service")
+	}
+	st := c.ProtectionStats()
+	if st.Degradations != 1 || st.DroppedRecords != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(c.ProtectionLog()) == 0 {
+		t.Fatal("degradation not logged")
+	}
+}
+
+// TestFailOpenKeepsServingUnmonitored runs a service whose protection
+// collapses under a monitor stall storm, with fail-open selected: every
+// request must still be served, and the trace tap must be off.
+func TestFailOpenKeepsServingUnmonitored(t *testing.T) {
+	port, c := buildConfigured(t, "httpd", 4, func(cfg *Config) {
+		cfg.Faults = []faultinject.Plan{{Site: faultinject.SiteMonitorStall, Rate: 1, Seed: 2, StallCycles: 500_000}}
+		cfg.HeartbeatInterval = 20_000
+		cfg.HeartbeatMissLimit = 2
+		cfg.Degradation = DegradeFailOpen
+	})
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.ProtectionStats()
+	if st.HeartbeatMisses == 0 {
+		t.Fatalf("monitor stall storm never missed a heartbeat: %+v", st)
+	}
+	if !c.Degraded(0) {
+		t.Fatalf("slot not degraded: %+v", st)
+	}
+	if c.slots[0].unmonitored != true {
+		t.Fatal("fail-open slot still monitored")
+	}
+	// Escalations before the limit abort their in-flight request (that
+	// availability cost is the point of the sweep); once degraded, the
+	// rest of the stream is served unmonitored rather than halted.
+	sum := port.Summarize()
+	if sum.Served == 0 || sum.Served+sum.Aborted != 4 {
+		t.Fatalf("fail-open did not keep serving: %+v", sum)
+	}
+}
+
+// TestHeartbeatEscalatesToMacro arms a monitor stall with a macro
+// checkpoint available (period 1) and expects the escalation to take
+// the Figure-8 deep path at least once.
+func TestHeartbeatEscalatesToMacro(t *testing.T) {
+	port, c := buildConfigured(t, "httpd", 6, func(cfg *Config) {
+		cfg.Faults = []faultinject.Plan{{Site: faultinject.SiteMonitorStall, Rate: 0.05, Seed: 4, StallCycles: 300_000}}
+		cfg.HeartbeatInterval = 20_000
+		cfg.Recovery.MacroPeriod = 1
+	})
+	_, err := c.Run(20_000_000)
+	if err != nil && !errors.Is(err, ErrInstrLimit) {
+		t.Fatal(err)
+	}
+	st := c.ProtectionStats()
+	if st.HeartbeatMisses == 0 {
+		t.Fatalf("no heartbeat misses: %+v", st)
+	}
+	if st.MacroEscalations == 0 {
+		t.Fatalf("no macro escalation despite available checkpoint: %+v", st)
+	}
+	if c.Recovery().Stats().MacroRecoveries == 0 {
+		t.Fatal("recovery manager saw no macro restore")
+	}
+	if port.Summarize().Served == 0 {
+		t.Fatal("service never recovered")
+	}
+}
+
+// TestAttacksStillDetectedUnderCorruption is the acceptance bar: at a
+// 1e-4 FIFO corruption rate, the three code-attack classes must still
+// be detected and recovered exactly as in a fault-free run.
+func TestAttacksStillDetectedUnderCorruption(t *testing.T) {
+	for _, kind := range []attack.Kind{attack.StackSmash, attack.InjectCode, attack.FptrHijack} {
+		params := workload.MustByName("httpd")
+		prog, err := params.BuildProgram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Faults = []faultinject.Plan{{Site: faultinject.SiteFIFOCorrupt, Rate: 1e-4, Seed: 6}}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legit := params.GenRequests(4, 2)
+		seq, err := attack.Sequence(kind, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := append(legit[:2:2], seq...)
+		stream = append(stream, legit[2:]...)
+		port := netsim.NewPort(stream)
+		if _, err := c.LaunchService(0, "httpd", prog, port); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(0); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(c.Violations()) == 0 {
+			t.Fatalf("%s: not detected under 1e-4 corruption", kind)
+		}
+		// A rare corruption may spuriously abort one legit request; the
+		// attack itself must be stopped and the service must keep going.
+		if sum := port.Summarize(); sum.Served < 3 {
+			t.Fatalf("%s: continuity lost: %+v", kind, sum)
+		}
+	}
+}
+
+// TestPolicyAndModeStrings pins the CLI-facing names.
+func TestPolicyAndModeStrings(t *testing.T) {
+	if FIFOStall.String() != "stall" || FIFODrop.String() != "drop" {
+		t.Fatal("FIFOPolicy strings")
+	}
+	if DegradeFailClosed.String() != "fail-closed" || DegradeFailOpen.String() != "fail-open" {
+		t.Fatal("DegradationMode strings")
+	}
+}
+
+// TestInvalidFaultPlanRejected: chip assembly must surface plan errors
+// instead of panicking mid-run.
+func TestInvalidFaultPlanRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = []faultinject.Plan{{Site: faultinject.SiteFIFOCorrupt, Rate: 2}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

@@ -41,20 +41,38 @@ func (c *Chip) syscall(idx int, core *cpu.Core, num int) (uint64, error) {
 	return cycles, err
 }
 
-// emitTrace is the hardware FIFO push path. When monitoring is off the
-// tap is disabled entirely (no records, no stalls). When the FIFO is
-// full the resurrectee stalls until the monitor frees an entry
-// (Section 3.2.5's third synchronisation rule).
+// emitTrace is the hardware FIFO push path. When monitoring is off (or
+// the slot degraded fail-open) the tap is disabled entirely (no
+// records, no stalls). Fault injection strikes here — a record can be
+// silently lost or have one bit flipped at the write port. When the
+// FIFO is full, FIFOStall blocks the resurrectee until the monitor
+// frees an entry (Section 3.2.5's third synchronisation rule) while
+// FIFODrop sheds the incoming record to keep the service running.
 func (c *Chip) emitTrace(idx int, rec trace.Record) uint64 {
-	if !c.cfg.Monitoring {
+	if !c.cfg.Monitoring || c.slots[idx].unmonitored {
 		return 0
 	}
 	core := c.cores[idx]
 	now := core.Cycles()
 	q := c.queues[idx]
 
+	if c.inj != nil {
+		if c.inj.DropRecord(now) {
+			c.pstats.InjectedDrops++
+			return 0
+		}
+		if c.inj.CorruptRecord(now, &rec) {
+			c.pstats.InjectedCorrupts++
+		}
+	}
+
 	// Let the monitor consume whatever it would have finished by now.
 	c.drainUntil(idx, now)
+
+	if q.Full() && c.cfg.FIFOPolicy == FIFODrop {
+		c.noteFIFODrop(idx)
+		return 0
+	}
 
 	var stall uint64
 	for q.Full() {
@@ -86,6 +104,12 @@ func (c *Chip) verifyAt(idx int, rec trace.Record) uint64 {
 		start = rec.EnqueuedAt
 	}
 	cost, v := c.mon.Verify(rec)
+	if c.inj != nil {
+		if s := c.inj.MonitorStall(start); s > 0 {
+			cost += s
+			c.pstats.MonitorStallCycles += s
+		}
+	}
 	c.monClks[r] = start + cost
 	if v != nil && c.pending[idx] == nil {
 		c.pending[idx] = v
@@ -228,9 +252,18 @@ func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
 
 			// Give the monitor a chance to catch up periodically even
 			// when the core emits no records (e.g. injected-code loops).
+			// The same point checks the resurrector's heartbeat: a record
+			// sitting unverified past the interval means the monitor
+			// stalled, and the chip escalates on the resurrectee's behalf.
 			if c.cfg.Monitoring && core.Stats().Instret-lastDrain[idx] >= c.cfg.DrainInterval {
 				c.drainUntil(idx, core.Cycles())
 				lastDrain[idx] = core.Stats().Instret
+				if c.checkHeartbeat(idx, core.Cycles()) {
+					c.escalateStall(idx)
+					if core.Halted() {
+						continue // degraded fail-closed
+					}
+				}
 			}
 
 			// A halted core stops emitting, but the resurrector keeps

@@ -1,0 +1,298 @@
+// Package faultinject is a seeded, deterministic fault-injection layer
+// for the INDRA protection machinery itself. The paper evaluates the
+// monitor, FIFO and checkpoint engine only against well-formed attacks
+// and assumes the protection layer is fault-free; RepTFD and the
+// SoC-rejuvenation line of work argue the protection layer must itself
+// tolerate transient faults. This package makes that testable: each
+// fault site in the resurrector's machinery can be armed with a Plan
+// (site, cycle window, rate, seed) that decides — reproducibly — which
+// events are struck.
+//
+// Determinism is the load-bearing property. A decision depends only on
+// the plan's seed, the site, and the per-site event ordinal, never on
+// wall-clock time, goroutine scheduling or map order; a simulation cell
+// running under the parallel experiment runner therefore injects the
+// exact same faults whether the suite runs with one worker or eight.
+// Each simulated chip owns its own Injector, so concurrent cells share
+// no counters.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+)
+
+// Site names a fault-injection point inside the protection layer.
+type Site uint8
+
+const (
+	// SiteFIFOCorrupt flips one bit in a trace record at the FIFO write
+	// port (a transient fault in the hardware queue's storage).
+	SiteFIFOCorrupt Site = iota
+	// SiteFIFODrop silently loses a trace record at the FIFO write port
+	// (a dropped enqueue; the monitor never sees the event).
+	SiteFIFODrop
+	// SiteCkptBitvec flips one bit in a backup page's dirty/rollback
+	// bitvectors while the checkpoint engine processes a failure.
+	SiteCkptBitvec
+	// SiteCkptLine flips one bit in a cache line just after it is copied
+	// into a backup page (corrupted backup storage).
+	SiteCkptLine
+	// SiteMonitorStall freezes the monitor software for StallCycles
+	// after a verification (the resurrector itself hiccups).
+	SiteMonitorStall
+	// SiteDRAMRead flips one bit in a line read back from the backup
+	// region during lazy rollback (a transient DRAM read fault).
+	SiteDRAMRead
+
+	numSites
+)
+
+var siteNames = [numSites]string{
+	SiteFIFOCorrupt:  "fifo-corrupt",
+	SiteFIFODrop:     "fifo-drop",
+	SiteCkptBitvec:   "ckpt-bitvec",
+	SiteCkptLine:     "ckpt-line",
+	SiteMonitorStall: "monitor-stall",
+	SiteDRAMRead:     "dram-read",
+}
+
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// SiteByName resolves a site name as used in plan specs.
+func SiteByName(name string) (Site, bool) {
+	for i, n := range siteNames {
+		if n == name {
+			return Site(i), true
+		}
+	}
+	return 0, false
+}
+
+// Sites lists every fault site in presentation order.
+func Sites() []Site {
+	out := make([]Site, numSites)
+	for i := range out {
+		out[i] = Site(i)
+	}
+	return out
+}
+
+// DefaultStallCycles is the monitor freeze applied by SiteMonitorStall
+// plans that do not set StallCycles explicitly.
+const DefaultStallCycles = 50_000
+
+// Plan arms one fault site. The zero window (From == To == 0) covers
+// the whole run; otherwise only events whose cycle time t satisfies
+// From <= t < To are candidates.
+type Plan struct {
+	Site Site
+	// Rate is the per-event hit probability in [0, 1]. Zero disarms the
+	// plan (useful as a sweep baseline: the plan is present, the faults
+	// never fire, and the run is bit-identical to an unarmed one).
+	Rate float64
+	// From and To bound the cycle window (half-open; both zero = always).
+	From, To uint64
+	// Seed decorrelates plans; two plans with different seeds strike
+	// different events even at the same site and rate.
+	Seed uint64
+	// StallCycles is the freeze length for SiteMonitorStall (0 selects
+	// DefaultStallCycles). Ignored by other sites.
+	StallCycles uint64
+}
+
+// Validate reports plan errors.
+func (p Plan) Validate() error {
+	switch {
+	case p.Site >= numSites:
+		return fmt.Errorf("faultinject: unknown site %d", uint8(p.Site))
+	case math.IsNaN(p.Rate) || p.Rate < 0 || p.Rate > 1:
+		return fmt.Errorf("faultinject: rate %g outside [0, 1]", p.Rate)
+	case p.To != 0 && p.From >= p.To:
+		return fmt.Errorf("faultinject: empty cycle window [%d, %d)", p.From, p.To)
+	}
+	return nil
+}
+
+// String renders the plan in ParsePlans syntax.
+func (p Plan) String() string {
+	s := fmt.Sprintf("%s:%g", p.Site, p.Rate)
+	if p.StallCycles != 0 {
+		s += fmt.Sprintf(":%d", p.StallCycles)
+	}
+	if p.From != 0 || p.To != 0 {
+		s += fmt.Sprintf("@%d-%d", p.From, p.To)
+	}
+	return s
+}
+
+// SiteStats counts one site's activity.
+type SiteStats struct {
+	Events uint64 // decisions taken (event ordinals consumed)
+	Hits   uint64 // faults actually injected
+}
+
+// Stats is a snapshot of injector activity, indexed by Site.
+type Stats [numSites]SiteStats
+
+// TotalHits sums injected faults across sites.
+func (s Stats) TotalHits() uint64 {
+	var n uint64
+	for _, st := range s {
+		n += st.Hits
+	}
+	return n
+}
+
+// Injector owns the armed plans and the per-site event counters of one
+// simulated chip. Not safe for concurrent use: the chip steps cores on
+// a single goroutine, and every chip builds its own Injector.
+type Injector struct {
+	plans  [numSites][]Plan
+	events [numSites]uint64
+	stats  Stats
+}
+
+// New builds an injector from plans. Invalid plans panic: plans are
+// produced by code or pre-validated by ParsePlans.
+func New(plans ...Plan) *Injector {
+	in := &Injector{}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			panic(err)
+		}
+		in.plans[p.Site] = append(in.plans[p.Site], p)
+	}
+	return in
+}
+
+// Stats returns a snapshot of the counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Armed reports whether any plan targets site (regardless of rate).
+func (in *Injector) Armed(site Site) bool { return len(in.plans[site]) > 0 }
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix good enough to turn (seed, site, ordinal) into
+// independent uniform bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// decide consumes one event ordinal at site and returns the raw random
+// bits plus the striking plan when a fault fires. now gates the cycle
+// windows; the ordinal advances whether or not any window matches, so a
+// windowed plan never perturbs decisions outside its window.
+func (in *Injector) decide(site Site, now uint64) (uint64, *Plan) {
+	ord := in.events[site]
+	in.events[site]++
+	in.stats[site].Events++
+	for i := range in.plans[site] {
+		p := &in.plans[site][i]
+		if p.Rate <= 0 {
+			continue
+		}
+		if (p.From != 0 || p.To != 0) && (now < p.From || now >= p.To) {
+			continue
+		}
+		raw := splitmix64(p.Seed ^ uint64(site)<<56 ^ ord)
+		// Top 53 bits as a uniform fraction in [0, 1).
+		if float64(raw>>11)/(1<<53) < p.Rate {
+			in.stats[site].Hits++
+			return splitmix64(raw), p
+		}
+	}
+	return 0, nil
+}
+
+// hit is decide without the plan (sites whose effect needs no
+// parameters beyond the random bits).
+func (in *Injector) hit(site Site, now uint64) (uint64, bool) {
+	raw, p := in.decide(site, now)
+	return raw, p != nil
+}
+
+// DropRecord decides whether the trace record being pushed at cycle now
+// is silently lost (SiteFIFODrop).
+func (in *Injector) DropRecord(now uint64) bool {
+	if !in.Armed(SiteFIFODrop) {
+		return false
+	}
+	_, ok := in.hit(SiteFIFODrop, now)
+	return ok
+}
+
+// MonitorStall returns the extra cycles the monitor freezes for after a
+// verification at cycle now (0 = no fault).
+func (in *Injector) MonitorStall(now uint64) uint64 {
+	if !in.Armed(SiteMonitorStall) {
+		return 0
+	}
+	_, p := in.decide(SiteMonitorStall, now)
+	if p == nil {
+		return 0
+	}
+	if p.StallCycles != 0 {
+		return p.StallCycles
+	}
+	return DefaultStallCycles
+}
+
+// flipBit flips one deterministic bit of buf, selected by raw.
+func flipBit(raw uint64, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	bit := int(raw % uint64(len(buf)*8))
+	buf[bit/8] ^= 1 << (bit % 8)
+}
+
+// CorruptLine flips one bit in a checkpoint backup line just written at
+// cycle now (SiteCkptLine). Reports whether a fault was injected.
+func (in *Injector) CorruptLine(now uint64, line []byte) bool {
+	if !in.Armed(SiteCkptLine) {
+		return false
+	}
+	raw, ok := in.hit(SiteCkptLine, now)
+	if ok {
+		flipBit(raw, line)
+	}
+	return ok
+}
+
+// CorruptDRAMRead flips one bit in a line read back from the backup
+// region at cycle now (SiteDRAMRead).
+func (in *Injector) CorruptDRAMRead(now uint64, line []byte) bool {
+	if !in.Armed(SiteDRAMRead) {
+		return false
+	}
+	raw, ok := in.hit(SiteDRAMRead, now)
+	if ok {
+		flipBit(raw, line)
+	}
+	return ok
+}
+
+// FlipBitvec flips one of the first nbits bits across words at cycle
+// now (SiteCkptBitvec). words is a checkpoint bitvector's backing
+// storage (dirty or rollback, chosen by the raw bits' parity upstream).
+func (in *Injector) FlipBitvec(now uint64, words []uint64, nbits int) bool {
+	if !in.Armed(SiteCkptBitvec) || nbits <= 0 || len(words) == 0 {
+		return false
+	}
+	raw, ok := in.hit(SiteCkptBitvec, now)
+	if !ok {
+		return false
+	}
+	bit := int(raw % uint64(nbits))
+	words[bit/64] ^= 1 << (bit % 64)
+	return true
+}

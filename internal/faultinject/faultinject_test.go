@@ -1,0 +1,265 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"indra/internal/trace"
+)
+
+func TestRateZeroNeverFires(t *testing.T) {
+	in := New(
+		Plan{Site: SiteFIFOCorrupt, Rate: 0, Seed: 1},
+		Plan{Site: SiteFIFODrop, Rate: 0, Seed: 2},
+		Plan{Site: SiteMonitorStall, Rate: 0, Seed: 3},
+	)
+	rec := trace.Record{Target: 0x1234}
+	for now := uint64(0); now < 10_000; now++ {
+		if in.CorruptRecord(now, &rec) || rec.Target != 0x1234 {
+			t.Fatal("rate-0 plan corrupted a record")
+		}
+		if in.DropRecord(now) {
+			t.Fatal("rate-0 plan dropped a record")
+		}
+		if in.MonitorStall(now) != 0 {
+			t.Fatal("rate-0 plan stalled the monitor")
+		}
+	}
+	if h := in.Stats().TotalHits(); h != 0 {
+		t.Fatalf("rate-0 injector reported %d hits", h)
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := New(Plan{Site: SiteFIFODrop, Rate: 1, Seed: 7})
+	for now := uint64(0); now < 100; now++ {
+		if !in.DropRecord(now) {
+			t.Fatalf("rate-1 plan missed event %d", now)
+		}
+	}
+	st := in.Stats()[SiteFIFODrop]
+	if st.Events != 100 || st.Hits != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestDeterminism is the property the parallel runner depends on: two
+// injectors with identical plans make identical decisions regardless of
+// the cycle times they observe, because decisions are keyed on event
+// ordinals, not clocks.
+func TestDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		return New(Plan{Site: SiteFIFOCorrupt, Rate: 0.2, Seed: 42})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 5_000; i++ {
+		ra := trace.Record{Target: 0xAAAA_0000, Ret: 0x5555, SP: 0x1000}
+		rb := ra
+		// Different observed clocks, same ordinals: same decisions.
+		hitA := a.CorruptRecord(uint64(i), &ra)
+		hitB := b.CorruptRecord(uint64(i)*977+13, &rb)
+		if hitA != hitB || ra != rb {
+			t.Fatalf("event %d diverged: %v/%v %+v %+v", i, hitA, hitB, ra, rb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestRateConvergence(t *testing.T) {
+	in := New(Plan{Site: SiteFIFODrop, Rate: 0.1, Seed: 99})
+	const n = 200_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.DropRecord(0) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("empirical rate %.4f, want ~0.1", got)
+	}
+}
+
+func TestCycleWindow(t *testing.T) {
+	in := New(Plan{Site: SiteFIFODrop, Rate: 1, From: 100, To: 200, Seed: 5})
+	for _, tc := range []struct {
+		now  uint64
+		want bool
+	}{{0, false}, {99, false}, {100, true}, {199, true}, {200, false}, {1 << 40, false}} {
+		if got := in.DropRecord(tc.now); got != tc.want {
+			t.Fatalf("now=%d: hit=%v, want %v", tc.now, got, tc.want)
+		}
+	}
+}
+
+func TestCorruptRecordFlipsExactlyOneBit(t *testing.T) {
+	in := New(Plan{Site: SiteFIFOCorrupt, Rate: 1, Seed: 11})
+	fields := make(map[string]int)
+	for i := 0; i < 1_000; i++ {
+		orig := trace.Record{Kind: trace.KindCall, Target: 0xDEAD_BEEF, Ret: 0x0BAD_F00D, SP: 0x7FFF_0000}
+		rec := orig
+		if !in.CorruptRecord(uint64(i), &rec) {
+			t.Fatal("rate-1 corrupt missed")
+		}
+		diff := 0
+		if d := rec.Target ^ orig.Target; d != 0 {
+			diff++
+			if d&(d-1) != 0 {
+				t.Fatalf("multi-bit target flip %#x", d)
+			}
+			fields["target"]++
+		}
+		if d := rec.Ret ^ orig.Ret; d != 0 {
+			diff++
+			fields["ret"]++
+		}
+		if d := rec.SP ^ orig.SP; d != 0 {
+			diff++
+			fields["sp"]++
+		}
+		if rec.Kind != orig.Kind {
+			diff++
+			fields["kind"]++
+		}
+		if diff != 1 {
+			t.Fatalf("corruption touched %d fields: %+v -> %+v", diff, orig, rec)
+		}
+	}
+	if len(fields) != 4 {
+		t.Fatalf("field selection not exercised: %v", fields)
+	}
+}
+
+func TestMonitorStallDefaults(t *testing.T) {
+	in := New(Plan{Site: SiteMonitorStall, Rate: 1, Seed: 1})
+	if got := in.MonitorStall(0); got != DefaultStallCycles {
+		t.Fatalf("default stall %d, want %d", got, DefaultStallCycles)
+	}
+	in = New(Plan{Site: SiteMonitorStall, Rate: 1, Seed: 1, StallCycles: 123})
+	if got := in.MonitorStall(0); got != 123 {
+		t.Fatalf("explicit stall %d, want 123", got)
+	}
+}
+
+func TestFlipBitvecAndLines(t *testing.T) {
+	in := New(
+		Plan{Site: SiteCkptBitvec, Rate: 1, Seed: 3},
+		Plan{Site: SiteCkptLine, Rate: 1, Seed: 4},
+		Plan{Site: SiteDRAMRead, Rate: 1, Seed: 5},
+	)
+	words := make([]uint64, 2)
+	if !in.FlipBitvec(0, words, 128) {
+		t.Fatal("bitvec flip missed")
+	}
+	set := 0
+	for _, w := range words {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	if set != 1 {
+		t.Fatalf("bitvec flip set %d bits", set)
+	}
+
+	line := make([]byte, 32)
+	if !in.CorruptLine(0, line) {
+		t.Fatal("line corrupt missed")
+	}
+	if !in.CorruptDRAMRead(0, line) {
+		t.Fatal("dram corrupt missed")
+	}
+	// Two independent single-bit flips: either two bits set, or the
+	// same bit twice (back to zero) — never anything else.
+	bits := 0
+	for _, b := range line {
+		for ; b != 0; b &= b - 1 {
+			bits++
+		}
+	}
+	if bits != 0 && bits != 2 {
+		t.Fatalf("line flips set %d bits", bits)
+	}
+}
+
+func TestUnarmedSitesAreFree(t *testing.T) {
+	in := New() // no plans at all
+	rec := trace.Record{Target: 1}
+	if in.CorruptRecord(0, &rec) || in.DropRecord(0) || in.MonitorStall(0) != 0 ||
+		in.CorruptLine(0, make([]byte, 4)) || in.FlipBitvec(0, make([]uint64, 1), 64) {
+		t.Fatal("unarmed injector fired")
+	}
+	var empty Stats
+	if in.Stats() != empty {
+		t.Fatalf("unarmed injector consumed ordinals: %+v", in.Stats())
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	for _, p := range []Plan{
+		{Site: numSites, Rate: 0.5},
+		{Site: SiteFIFODrop, Rate: -0.1},
+		{Site: SiteFIFODrop, Rate: 1.5},
+		{Site: SiteFIFODrop, Rate: 0.5, From: 10, To: 10},
+		{Site: SiteFIFODrop, Rate: 0.5, From: 20, To: 10},
+	} {
+		if p.Validate() == nil {
+			t.Fatalf("plan %+v validated", p)
+		}
+	}
+	if err := (Plan{Site: SiteDRAMRead, Rate: 1e-4}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePlans(t *testing.T) {
+	plans, err := ParsePlans("fifo-corrupt:1e-4, monitor-stall:0.001:200000,fifo-drop:1e-3@100-5000", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Plan{
+		{Site: SiteFIFOCorrupt, Rate: 1e-4, Seed: 9},
+		{Site: SiteMonitorStall, Rate: 0.001, StallCycles: 200000, Seed: 10},
+		{Site: SiteFIFODrop, Rate: 1e-3, From: 100, To: 5000, Seed: 11},
+	}
+	if len(plans) != len(want) {
+		t.Fatalf("parsed %d plans, want %d", len(plans), len(want))
+	}
+	for i := range want {
+		if plans[i] != want[i] {
+			t.Fatalf("plan %d: %+v, want %+v", i, plans[i], want[i])
+		}
+	}
+	// Round trip through the formatter.
+	re, err := ParsePlans(FormatPlans(plans), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plans {
+		if re[i] != plans[i] {
+			t.Fatalf("round trip diverged at %d: %+v vs %+v", i, re[i], plans[i])
+		}
+	}
+}
+
+func TestParsePlansRejects(t *testing.T) {
+	for _, spec := range []string{
+		"bogus:0.5",              // unknown site
+		"fifo-corrupt",           // missing rate
+		"fifo-corrupt:0.5:10",    // stall cycles on a non-stall site
+		"fifo-corrupt:2",         // rate out of range
+		"fifo-corrupt:x",         // unparsable rate
+		"fifo-corrupt:0.5@10",    // malformed window
+		"fifo-corrupt:0.5@20-10", // empty window
+		"fifo-corrupt:0.5,,",     // empty plan
+		"monitor-stall:0.5:a",    // unparsable stall
+	} {
+		if _, err := ParsePlans(spec, 1); err == nil {
+			t.Fatalf("spec %q parsed", spec)
+		}
+	}
+	if plans, err := ParsePlans("  ", 1); err != nil || plans != nil {
+		t.Fatalf("blank spec: %v %v", plans, err)
+	}
+}

@@ -1,0 +1,56 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlans throws arbitrary specs at the plan parser. Rejection
+// is fine; panicking is not. Anything accepted must validate, carry a
+// deterministic seed chain, and survive a format → parse round trip
+// unchanged — the same guarantee the CLIs rely on when a user's -inject
+// spec is echoed into logs and replayed.
+func FuzzParsePlans(f *testing.F) {
+	f.Add("fifo-corrupt:1e-4")
+	f.Add("fifo-drop:0.001@1000-2000,ckpt-bitvec:0.5")
+	f.Add("monitor-stall:1:50000")
+	f.Add("dram-read:0,ckpt-line:1")
+	f.Add("fifo-corrupt:1e-4, monitor-stall:2e-3:9,fifo-drop:1@0-18446744073709551615")
+	f.Add(":")
+	f.Add("@-")
+	f.Add(strings.Repeat("fifo-drop:0,", 40) + "fifo-drop:0")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		plans, err := ParsePlans(spec, 7)
+		if err != nil {
+			return
+		}
+		for i, p := range plans {
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("accepted invalid plan %+v: %v", p, verr)
+			}
+			if p.Seed != 7+uint64(i) {
+				t.Fatalf("plan %d seed %d, want %d", i, p.Seed, 7+uint64(i))
+			}
+		}
+		re, err := ParsePlans(FormatPlans(plans), 7)
+		if err != nil {
+			t.Fatalf("formatted plans %q did not re-parse: %v", FormatPlans(plans), err)
+		}
+		if len(re) != len(plans) {
+			t.Fatalf("round trip count %d, want %d", len(re), len(plans))
+		}
+		for i := range plans {
+			if re[i] != plans[i] {
+				t.Fatalf("round trip diverged: %+v vs %+v", re[i], plans[i])
+			}
+		}
+		// Accepted plans must drive an injector without panicking.
+		in := New(plans...)
+		for now := uint64(0); now < 64; now++ {
+			in.DropRecord(now)
+			in.MonitorStall(now)
+			in.CorruptLine(now, make([]byte, 8))
+		}
+	})
+}

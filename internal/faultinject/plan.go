@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlans parses the CLI plan syntax: a comma-separated list of
+//
+//	site:rate[:stallCycles][@from-to]
+//
+// where site is one of fifo-corrupt, fifo-drop, ckpt-bitvec, ckpt-line,
+// monitor-stall, dram-read; rate is a float in [0, 1] (scientific
+// notation welcome: 1e-4); stallCycles applies to monitor-stall only;
+// and @from-to bounds the cycle window. Every parsed plan is seeded
+// with baseSeed plus its position, so a spec is fully deterministic.
+//
+//	fifo-corrupt:1e-4
+//	monitor-stall:0.001:200000,fifo-drop:1e-3@0-5000000
+func ParsePlans(spec string, baseSeed uint64) ([]Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var plans []Plan
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("faultinject: empty plan in spec %q", spec)
+		}
+		p := Plan{Seed: baseSeed + uint64(i)}
+		if at := strings.IndexByte(part, '@'); at >= 0 {
+			window := part[at+1:]
+			part = part[:at]
+			lo, hi, ok := strings.Cut(window, "-")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: window %q is not from-to", window)
+			}
+			var err error
+			if p.From, err = strconv.ParseUint(lo, 10, 64); err != nil {
+				return nil, fmt.Errorf("faultinject: window start %q: %v", lo, err)
+			}
+			if p.To, err = strconv.ParseUint(hi, 10, 64); err != nil {
+				return nil, fmt.Errorf("faultinject: window end %q: %v", hi, err)
+			}
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("faultinject: plan %q is not site:rate[:stallCycles]", part)
+		}
+		site, ok := SiteByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("faultinject: unknown site %q (want one of %v)", fields[0], Sites())
+		}
+		p.Site = site
+		rate, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: rate %q: %v", fields[1], err)
+		}
+		p.Rate = rate
+		if len(fields) == 3 {
+			if site != SiteMonitorStall {
+				return nil, fmt.Errorf("faultinject: stall cycles are only valid for monitor-stall, not %s", site)
+			}
+			if p.StallCycles, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("faultinject: stall cycles %q: %v", fields[2], err)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// FormatPlans renders plans back into ParsePlans syntax.
+func FormatPlans(plans []Plan) string {
+	parts := make([]string, len(plans))
+	for i, p := range plans {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ",")
+}

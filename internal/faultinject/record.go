@@ -1,0 +1,33 @@
+package faultinject
+
+import "indra/internal/trace"
+
+// CorruptRecord flips one bit of the trace record being pushed at cycle
+// now (SiteFIFOCorrupt) and reports whether it did. The struck field —
+// Target, Ret, SP, or the record kind — and the bit within it are
+// chosen by the plan's random stream, so a given (seed, ordinal) always
+// produces the same corruption.
+func (in *Injector) CorruptRecord(now uint64, rec *trace.Record) bool {
+	if !in.Armed(SiteFIFOCorrupt) {
+		return false
+	}
+	raw, ok := in.hit(SiteFIFOCorrupt, now)
+	if !ok {
+		return false
+	}
+	bit := uint32(1) << ((raw >> 2) % 32)
+	switch raw & 3 {
+	case 0:
+		rec.Target ^= bit
+	case 1:
+		rec.Ret ^= bit
+	case 2:
+		rec.SP ^= bit
+	default:
+		// A flipped kind bit: the monitor sees the wrong event class.
+		// Only the low two bits flip, keeping the value inside (or one
+		// past) the defined kinds, like a real control-line glitch.
+		rec.Kind ^= trace.Kind(1 + (raw>>2)&1)
+	}
+	return true
+}

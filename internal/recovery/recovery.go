@@ -36,11 +36,23 @@ type Config struct {
 	// the recovery handler instead of INDRA's deferred on-demand
 	// restoration. Exists for the ablation study only.
 	EagerRollback bool
+	// RetryBackoffCycles charges an extra, exponentially growing delay
+	// on each consecutive micro recovery (2^(fails-1) * RetryBackoffCycles,
+	// capped by RetryBackoffCap), so a service stuck re-triggering the
+	// same detection backs off instead of thrashing the recovery handler
+	// at full speed until the macro fallback fires. Zero disables the
+	// backoff (the paper's policy).
+	RetryBackoffCycles uint64
+	// RetryBackoffCap bounds one backoff delay. Zero with a nonzero
+	// RetryBackoffCycles means uncapped growth up to the macro fallback.
+	RetryBackoffCap uint64
 }
 
-// DefaultConfig returns the standard policy. The macro period is far
-// smaller than the paper's 10,000 so that simulated runs exercise the
-// macro path; experiments override it as needed.
+// DefaultConfig returns the standard policy. The macro period matches
+// the slow pace the paper suggests — an application-level checkpoint
+// every 10,000 requests — so simulated runs lean on micro recovery and
+// only reach the macro path via the consecutive-failure fallback;
+// experiments that want frequent macro checkpoints override it.
 func DefaultConfig() Config {
 	return Config{
 		MacroPeriod:          10000,
@@ -218,6 +230,7 @@ func (m *Manager) OnFailure(p *oslite.Process, core *cpu.Core) uint64 {
 	if !st.micro.valid {
 		panic(fmt.Sprintf("recovery: failure for pid %d with no checkpoint (callers must check CanRecover)", p.PID))
 	}
+	cycles += m.backoff(st.consecutiveFails)
 	if p.Ckpt != nil {
 		cycles += p.Ckpt.Fail()
 		if m.cfg.EagerRollback {
@@ -236,6 +249,45 @@ func (m *Manager) OnFailure(p *oslite.Process, core *cpu.Core) uint64 {
 	m.stats.MicroRecoveries++
 	m.stats.RecoveryCycles += cycles
 	return cycles
+}
+
+// backoff prices the retry delay before the fails-th consecutive micro
+// recovery: RetryBackoffCycles doubled per earlier failure, saturating
+// at RetryBackoffCap when one is set.
+func (m *Manager) backoff(fails int) uint64 {
+	if m.cfg.RetryBackoffCycles == 0 || fails <= 1 {
+		return 0
+	}
+	shift := uint(fails - 2)
+	d := m.cfg.RetryBackoffCycles
+	if shift >= 64 || d<<shift>>shift != d {
+		d = ^uint64(0) // overflowed: saturate
+	} else {
+		d <<= shift
+	}
+	if m.cfg.RetryBackoffCap != 0 && d > m.cfg.RetryBackoffCap {
+		d = m.cfg.RetryBackoffCap
+	}
+	return d
+}
+
+// ForceMacro is the watchdog-escalation entry: restore the macro
+// checkpoint immediately, bypassing the consecutive-failure counter.
+// The chip calls it when the resurrector's own heartbeat expires — the
+// monitor may have missed detections while stalled, so a one-request
+// micro rollback cannot be trusted. Reports false (and does nothing)
+// when no macro checkpoint exists yet.
+func (m *Manager) ForceMacro(p *oslite.Process, core *cpu.Core) (uint64, bool) {
+	st := m.state(p.PID)
+	if !st.macro.valid {
+		return 0, false
+	}
+	cycles := m.cfg.HandlerCycles + m.restoreMacro(p, core, st)
+	m.stats.MacroRecoveries++
+	m.stats.RecoveryCycles += cycles
+	st.consecutiveFails = 0
+	st.skipGTS = true
+	return cycles, true
 }
 
 // takeMacro copies every writable page (application-level checkpoint in

@@ -258,3 +258,141 @@ func TestFailureBeforeFirstRequestPanics(t *testing.T) {
 	}()
 	f.mgr.OnFailure(f.proc, f.core)
 }
+
+// TestDefaultPolicyPinned pins every default knob. In particular the
+// macro period must stay at the paper's suggested 10,000 requests —
+// a drive-by "tune the defaults" change shows up here, not as silent
+// golden churn.
+func TestDefaultPolicyPinned(t *testing.T) {
+	got := DefaultConfig()
+	want := Config{
+		MacroPeriod:          10000,
+		ConsecutiveFailLimit: 3,
+		InstrBudget:          50_000_000,
+		HandlerCycles:        1200,
+	}
+	if got != want {
+		t.Fatalf("DefaultConfig() = %+v, want %+v", got, want)
+	}
+}
+
+// TestConsecutiveFailLimitFallback walks the Figure 8 escalation edge:
+// with ConsecutiveFailLimit N, exactly N failures recover micro, the
+// N+1-th falls back to the macro checkpoint exactly once, and the
+// counter reset makes the next failure micro again.
+func TestConsecutiveFailLimitFallback(t *testing.T) {
+	const limit = 3
+	f := newFixture(t, Config{MacroPeriod: 1, ConsecutiveFailLimit: limit})
+
+	// One committed request, then a second entry to take the macro.
+	f.mgr.OnRequestStart(f.proc, f.core)
+	f.mgr.OnRequestDone(f.proc)
+	f.mgr.OnRequestStart(f.proc, f.core)
+	if f.mgr.Stats().MacroCkpts != 1 {
+		t.Fatalf("macro checkpoints %d, want 1", f.mgr.Stats().MacroCkpts)
+	}
+
+	for i := 1; i <= limit; i++ {
+		f.mgr.OnFailure(f.proc, f.core)
+		st := f.mgr.Stats()
+		if st.MicroRecoveries != uint64(i) || st.MacroRecoveries != 0 {
+			t.Fatalf("after failure %d: %+v", i, st)
+		}
+		f.mgr.OnRequestStart(f.proc, f.core)
+	}
+	f.mgr.OnFailure(f.proc, f.core) // limit+1: escalate
+	st := f.mgr.Stats()
+	if st.MicroRecoveries != limit || st.MacroRecoveries != 1 {
+		t.Fatalf("escalation fired wrong: %+v", st)
+	}
+	// Counter reset: the next failure goes micro, not macro again.
+	f.mgr.OnRequestStart(f.proc, f.core)
+	f.mgr.OnFailure(f.proc, f.core)
+	st = f.mgr.Stats()
+	if st.MicroRecoveries != limit+1 || st.MacroRecoveries != 1 {
+		t.Fatalf("counter did not reset after macro: %+v", st)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	f := newFixture(t, Config{
+		ConsecutiveFailLimit: 100,
+		RetryBackoffCycles:   1000,
+		RetryBackoffCap:      3000,
+	})
+	base := f.mgr.Config().HandlerCycles
+	f.mgr.OnRequestStart(f.proc, f.core)
+
+	want := []uint64{0, 1000, 2000, 3000, 3000} // doubling, then capped
+	for i, extra := range want {
+		got := f.mgr.OnFailure(f.proc, f.core)
+		// Subtract the checkpoint engine's Fail cost, which varies with
+		// dirty state: isolate by comparing against a backoff-free twin.
+		if got < base+extra {
+			t.Fatalf("failure %d cost %d, want >= %d", i+1, got, base+extra)
+		}
+		if i == 0 && got >= base+1000 {
+			t.Fatalf("first failure charged backoff: %d", got)
+		}
+		f.mgr.OnRequestStart(f.proc, f.core)
+	}
+
+	// Saturation: a huge failure count must not overflow into a tiny
+	// (or zero) delay.
+	if d := f.mgr.backoff(200); d != 3000 {
+		t.Fatalf("saturated backoff %d, want cap 3000", d)
+	}
+	uncapped := NewManager(Config{RetryBackoffCycles: 1 << 62}, f.mon, nil)
+	if d := uncapped.backoff(70); d != ^uint64(0) {
+		t.Fatalf("overflow not saturated: %d", d)
+	}
+	// Zero config: no backoff at any depth.
+	plain := NewManager(Config{}, f.mon, nil)
+	if d := plain.backoff(50); d != 0 {
+		t.Fatalf("disabled backoff charged %d", d)
+	}
+}
+
+func TestForceMacro(t *testing.T) {
+	f := newFixture(t, Config{MacroPeriod: 1, HandlerCycles: 500})
+	data := f.proc.Prog.DataBase
+
+	// Before any macro checkpoint exists, escalation must refuse.
+	if _, ok := f.mgr.ForceMacro(f.proc, f.core); ok {
+		t.Fatal("ForceMacro succeeded with no macro checkpoint")
+	}
+
+	f.mgr.OnRequestStart(f.proc, f.core)
+	f.write(data, 77)
+	f.mgr.OnRequestDone(f.proc)
+	f.mgr.OnRequestStart(f.proc, f.core) // takes macro with data == 77
+	if f.mgr.Stats().MacroCkpts != 1 {
+		t.Fatalf("macro checkpoints %d", f.mgr.Stats().MacroCkpts)
+	}
+
+	// Damage the process as a stalled-monitor window would leave it:
+	// untracked corruption plus a hijacked context.
+	if err := f.proc.AS.Write32(data, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	f.core.SetPC(0xBAD)
+	f.proc.CurrentReq = 5
+
+	cycles, ok := f.mgr.ForceMacro(f.proc, f.core)
+	if !ok || cycles == 0 {
+		t.Fatalf("ForceMacro = (%d, %v)", cycles, ok)
+	}
+	if got := f.read(data); got != 77 {
+		t.Fatalf("macro restore left %#x, want 77", got)
+	}
+	if f.core.PC() == 0xBAD {
+		t.Fatal("context not restored")
+	}
+	if f.proc.CurrentReq != 0 {
+		t.Fatal("current request not cleared")
+	}
+	st := f.mgr.Stats()
+	if st.MacroRecoveries != 1 || st.MicroRecoveries != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

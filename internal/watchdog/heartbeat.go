@@ -1,0 +1,54 @@
+package watchdog
+
+// Heartbeat is the watchdog's monitor-liveness timer. The memory
+// watchdog insulates the resurrector from the resurrectees; the
+// heartbeat closes the opposite gap — a resurrector whose monitor
+// software has stalled (transient fault, livelock, scheduling bug)
+// silently stops inspecting traces, and nothing in the paper's design
+// notices. The chip beats the timer every time the monitor retires a
+// verification; the run loop asks Expired when trace records sit
+// unverified past the interval and escalates to macro recovery.
+//
+// Like the access checks, the heartbeat is "hardware": a countdown
+// register the monitor software cannot suppress, only reset by doing
+// its job.
+type Heartbeat struct {
+	interval uint64
+	last     uint64
+	misses   uint64
+}
+
+// NewHeartbeat creates a timer that expires when more than interval
+// cycles pass without a beat. interval 0 disables expiry entirely (the
+// zero value of the protection policy: no self-monitoring).
+func NewHeartbeat(interval uint64) *Heartbeat {
+	return &Heartbeat{interval: interval}
+}
+
+// Interval returns the configured expiry interval (0 = disabled).
+func (h *Heartbeat) Interval() uint64 { return h.interval }
+
+// Beat records monitor progress at cycle now. Beats never move the
+// timer backwards: the chip's per-resurrector verification clock can
+// momentarily trail a core's cycle count.
+func (h *Heartbeat) Beat(now uint64) {
+	if now > h.last {
+		h.last = now
+	}
+}
+
+// Expired reports whether more than the interval has elapsed since the
+// last beat as of cycle now. A disabled heartbeat never expires.
+func (h *Heartbeat) Expired(now uint64) bool {
+	return h.interval != 0 && now > h.last && now-h.last > h.interval
+}
+
+// Miss counts an expiry the chip acted on and restarts the timer at
+// now, so one stall is escalated once, not once per check.
+func (h *Heartbeat) Miss(now uint64) {
+	h.misses++
+	h.last = now
+}
+
+// Misses returns the number of expiries acted on.
+func (h *Heartbeat) Misses() uint64 { return h.misses }

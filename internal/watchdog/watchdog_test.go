@@ -110,3 +110,94 @@ func TestAccessString(t *testing.T) {
 		t.Fatal("access strings")
 	}
 }
+
+// TestViolationAtRegionBoundaries pins the Violation produced one byte
+// outside each edge of an assigned region, and the absence of one on
+// the region's first and last bytes — the off-by-one a partition-table
+// refactor would most plausibly introduce.
+func TestViolationAtRegionBoundaries(t *testing.T) {
+	w := New(testConfig())
+	const lo, hi = 0x1000_0000, 0x4000_0000
+
+	for _, op := range []Access{Read, Write, Execute} {
+		if err := w.Check(1, lo, op); err != nil {
+			t.Fatalf("first byte of region denied for %v: %v", op, err)
+		}
+		if err := w.Check(1, hi-1, op); err != nil {
+			t.Fatalf("last byte of region denied for %v: %v", op, err)
+		}
+	}
+
+	var v *Violation
+	if err := w.Check(1, lo-1, Write); !errors.As(err, &v) {
+		t.Fatalf("byte below region allowed (err=%v)", err)
+	} else if v.Core != 1 || v.Addr != lo-1 || v.Op != Write {
+		t.Fatalf("below-region violation fields %+v", v)
+	}
+	if err := w.Check(1, hi, Execute); !errors.As(err, &v) {
+		t.Fatalf("byte past region allowed (err=%v)", err)
+	} else if v.Core != 1 || v.Addr != hi || v.Op != Execute {
+		t.Fatalf("past-region violation fields %+v", v)
+	}
+}
+
+// TestViolationErrorWording pins the Error() message per access kind:
+// the chip's fault path and the CLIs print these verbatim, so the
+// wording is part of the tool's observable output.
+func TestViolationErrorWording(t *testing.T) {
+	for _, tc := range []struct {
+		v    Violation
+		want string
+	}{
+		{Violation{Core: 2, Addr: 0x1000, Op: Write}, "watchdog: core 2 illegal write of physical 0x1000"},
+		{Violation{Core: 1, Addr: 0xdeadbeef, Op: Execute}, "watchdog: core 1 illegal execute of physical 0xdeadbeef"},
+		{Violation{Core: 3, Addr: 0, Op: Read}, "watchdog: core 3 illegal read of physical 0x0"},
+	} {
+		if got := tc.v.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+	if Access(99).String() != "access" {
+		t.Error("unknown access kind must stringify as \"access\"")
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	h := NewHeartbeat(100)
+	if h.Interval() != 100 {
+		t.Fatalf("interval %d", h.Interval())
+	}
+	if h.Expired(100) {
+		t.Fatal("fresh heartbeat expired within interval")
+	}
+	if !h.Expired(101) {
+		t.Fatal("heartbeat did not expire past interval")
+	}
+	h.Beat(50)
+	if !h.Expired(151) || h.Expired(150) {
+		t.Fatal("beat did not move the deadline")
+	}
+	// Beats never rewind.
+	h.Beat(10)
+	if h.Expired(150) {
+		t.Fatal("older beat rewound the timer")
+	}
+	// Miss restarts the timer and counts once.
+	h.Miss(200)
+	if h.Misses() != 1 {
+		t.Fatalf("misses %d", h.Misses())
+	}
+	if h.Expired(300) {
+		t.Fatal("miss did not restart the timer")
+	}
+	if !h.Expired(301) {
+		t.Fatal("restarted timer never expires")
+	}
+}
+
+func TestHeartbeatDisabled(t *testing.T) {
+	h := NewHeartbeat(0)
+	if h.Expired(1 << 62) {
+		t.Fatal("disabled heartbeat expired")
+	}
+}
