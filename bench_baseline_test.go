@@ -1,0 +1,56 @@
+package indra
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"indra/internal/obs"
+)
+
+// BENCH_baseline.json is the committed merged counter snapshot of the
+// full benchmark suite (Fig9–16, Table2, Table3 at Requests: 2, Seed:
+// 1). It pins what the simulator *does* — DRAM accesses, cache fills,
+// monitor verifications, checkpoint line copies — so a behavioural
+// drift shows up as a counter diff even when the rendered experiment
+// output happens to stay stable. Regenerate after an intentional model
+// change with:
+//
+//	go test -run TestBenchBaseline -update-bench
+
+var updateBench = flag.Bool("update-bench", false, "rewrite BENCH_baseline.json from the current full-suite counters")
+
+const benchBaselinePath = "BENCH_baseline.json"
+
+func TestBenchBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run is not short")
+	}
+	suite := obs.NewSuite()
+	fullSuite(t, 0, suite)
+	if suite.Len() == 0 {
+		t.Fatal("full suite registered no observed cells")
+	}
+	got, err := json.MarshalIndent(suite.Merged(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if *updateBench {
+		if err := os.WriteFile(benchBaselinePath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(benchBaselinePath)
+	if err != nil {
+		t.Fatalf("missing baseline (run with -update-bench to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("full-suite counters drifted from %s (regenerate with -update-bench if intentional)\n--- got ---\n%s--- want ---\n%s",
+			benchBaselinePath, got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"indra/internal/obs"
 	"indra/internal/parallel"
 )
 
@@ -222,40 +223,42 @@ func BenchmarkAvailability(b *testing.B) {
 // ------------------------------------------- full-suite speedup guard
 
 // fullSuite regenerates every figure and table once with the given
-// worker count, returning the runner's cell/timing stats.
-func fullSuite(b *testing.B, workers int) parallel.Stats {
-	b.Helper()
+// worker count, returning the runner's cell/timing stats. A non-nil
+// suite observes every RunService-backed cell (see BENCH_baseline.json
+// and TestBenchBaseline for the committed counter baseline).
+func fullSuite(tb testing.TB, workers int, suite *obs.Suite) parallel.Stats {
+	tb.Helper()
 	m := parallel.NewMeter()
-	o := ExpOptions{Requests: 2, Scale: 1.0, Seed: 1, Workers: workers, Meter: m}
+	o := ExpOptions{Requests: 2, Scale: 1.0, Seed: 1, Workers: workers, Meter: m, Obs: suite}
 	if _, err := Fig9(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Fig10(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Fig11(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Fig12(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Fig13(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Fig14(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Fig15(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Fig16(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Table2(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := Table3(o); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return m.Stats()
 }
@@ -270,7 +273,7 @@ func fullSuite(b *testing.B, workers int) parallel.Stats {
 func BenchmarkFullSuiteSerial(b *testing.B) {
 	var st parallel.Stats
 	for i := 0; i < b.N; i++ {
-		st = fullSuite(b, 1)
+		st = fullSuite(b, 1, nil)
 	}
 	b.ReportMetric(float64(st.Jobs), "cells")
 	b.ReportMetric(st.Parallelism(), "effective-parallelism-x")
@@ -279,11 +282,31 @@ func BenchmarkFullSuiteSerial(b *testing.B) {
 func BenchmarkFullSuiteParallel(b *testing.B) {
 	var st parallel.Stats
 	for i := 0; i < b.N; i++ {
-		st = fullSuite(b, 0) // 0 = GOMAXPROCS workers
+		st = fullSuite(b, 0, nil) // 0 = GOMAXPROCS workers
 	}
 	b.ReportMetric(float64(st.Jobs), "cells")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	b.ReportMetric(st.Parallelism(), "effective-parallelism-x")
+}
+
+// BenchmarkFullSuiteObserved runs the same suite with a metrics suite
+// armed on every cell and reports the merged simulation counters —
+// both a cost check for armed observation (compare ns/op against
+// BenchmarkFullSuiteParallel) and the source of the committed
+// BENCH_baseline.json (see TestBenchBaseline).
+func BenchmarkFullSuiteObserved(b *testing.B) {
+	var merged obs.Snapshot
+	var cells int
+	for i := 0; i < b.N; i++ {
+		suite := obs.NewSuite()
+		fullSuite(b, 0, suite)
+		merged = suite.Merged()
+		cells = suite.Len()
+	}
+	b.ReportMetric(float64(cells), "observed-cells")
+	b.ReportMetric(float64(merged.Counters["dram.accesses"]), "dram-accesses")
+	b.ReportMetric(float64(merged.Counters["monitor.violations"]), "violations")
+	b.ReportMetric(float64(merged.Counters["slot0.cpu.instret"]), "slot0-instret")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"indra"
+	"indra/internal/obs"
 	"indra/internal/parallel"
 )
 
@@ -39,11 +40,17 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = 1/10 paper)")
 		seed     = flag.Uint("seed", 1, "request stream seed")
 		workers  = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = serial; output is identical)")
+		metrics  = flag.String("metrics-dir", "", "write one metrics JSON per simulation cell plus a merged summary.json into this directory")
 	)
 	flag.Parse()
 
 	meter := parallel.NewMeter()
 	o := indra.ExpOptions{Requests: *requests, Scale: *scale, Seed: uint32(*seed), Workers: *workers, Meter: meter}
+	var suite *obs.Suite
+	if *metrics != "" {
+		suite = obs.NewSuite()
+		o.Obs = suite
+	}
 
 	type runner struct {
 		id string
@@ -93,6 +100,14 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "indrabench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if suite != nil {
+		if err := suite.WriteDir(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "indrabench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d cells written to %s\n", suite.Len(), *metrics)
 	}
 
 	// The runner's timing summary: cells executed, wall time,

@@ -11,6 +11,13 @@
 //	indrasim -service ftpd,httpd,bind -isolate -workers 3
 //	indrasim -service httpd -inject fifo-corrupt:1e-3,monitor-stall:0.01:200000
 //	indrasim -service bind -inject monitor-stall:1 -heartbeat 20000 -degrade fail-open
+//	indrasim -service httpd -metrics -metrics-every 100000 -trace-out httpd.json
+//
+// -metrics prints the run's metrics snapshots as JSON (-metrics-every N
+// adds a mid-run snapshot every N instructions); -trace-out writes a
+// Chrome trace-event file loadable in Perfetto or chrome://tracing.
+// Observation never perturbs the simulation: output with and without
+// these flags is byte-identical.
 //
 // -inject arms protection-layer fault sites (site:rate[:stallCycles]
 // [@from-to], comma-separated; sites: fifo-corrupt, fifo-drop,
@@ -38,6 +45,7 @@ import (
 	"indra/internal/chip"
 	"indra/internal/faultinject"
 	"indra/internal/netsim"
+	"indra/internal/obs"
 	"indra/internal/parallel"
 	"indra/internal/workload"
 )
@@ -58,6 +66,10 @@ func main() {
 		isolate  = flag.Bool("isolate", false, "give each -service its own chip instead of time-multiplexing one core")
 		workers  = flag.Int("workers", 0, "concurrent chips with -isolate (0 = GOMAXPROCS)")
 
+		metrics      = flag.Bool("metrics", false, "print the end-of-run metrics snapshot(s) as JSON")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+		metricsEvery = flag.Uint64("metrics-every", 0, "snapshot the metrics registry every N executed instructions (0 = end of run only)")
+
 		inject     = flag.String("inject", "", "fault plans, site:rate[:stallCycles][@from-to] comma-separated (sites: fifo-corrupt, fifo-drop, ckpt-bitvec, ckpt-line, monitor-stall, dram-read)")
 		injectSeed = flag.Uint64("inject-seed", 1, "base seed for -inject plans")
 		fifoPolicy = flag.String("fifo-policy", "stall", "full-FIFO backpressure: stall (block the resurrectee) or drop (shed the record)")
@@ -65,6 +77,7 @@ func main() {
 		heartbeat  = flag.Uint64("heartbeat", 0, "monitor heartbeat interval in cycles (0 = disabled)")
 		missLimit  = flag.Uint64("heartbeat-misses", 0, "heartbeat misses before degradation (0 = escalate but never degrade)")
 		degrade    = flag.String("degrade", "fail-closed", "degradation mode: fail-closed (halt the service) or fail-open (serve unmonitored)")
+		macroEvery = flag.Int("macro-period", 0, "macro checkpoint every N processed requests (0 = scheme default)")
 	)
 	flag.Parse()
 
@@ -73,6 +86,9 @@ func main() {
 	cfg.FIFOEntries = *fifoSz
 	cfg.CAMSize = *camSz
 	cfg.Recovery.InstrBudget = *budget
+	if *macroEvery > 0 {
+		cfg.Recovery.MacroPeriod = *macroEvery
+	}
 	switch *scheme {
 	case "indra-delta":
 		cfg.Scheme = chip.SchemeDelta
@@ -120,12 +136,29 @@ func main() {
 		}
 	}
 
+	// Observability: one collector for the run (single-service or
+	// multiplexed; with -isolate each chip would need its own sink —
+	// use indrabench -metrics-dir for per-cell collection instead).
+	var col *obs.Collector
+	if *metrics || *traceOut != "" || *metricsEvery > 0 {
+		if *isolate {
+			fatalf("-metrics/-trace-out/-metrics-every are per-chip; not supported with -isolate (use indrabench -metrics-dir)")
+		}
+		col = obs.NewCollector()
+		if *traceOut != "" {
+			col.EnableTracing()
+		}
+		cfg.Obs = col
+		cfg.MetricsEvery = *metricsEvery
+	}
+
 	services := strings.Split(*service, ",")
 	if len(services) > 1 {
 		if *isolate {
 			runIsolated(cfg, services, *requests, uint32(*seed), *scale, *workers, kinds)
 		} else {
 			runMultiplexed(cfg, services, *requests, uint32(*seed), *scale)
+			writeObs(col, *metrics, *traceOut)
 		}
 		return
 	}
@@ -191,6 +224,35 @@ func main() {
 		for _, r := range run.Port.Records() {
 			fmt.Printf("  #%-3d %-12s %-11s rt=%d\n", r.ID, r.Label, r.Outcome, r.ResponseTime())
 		}
+	}
+	writeObs(col, *metrics, *traceOut)
+}
+
+// writeObs emits the collected metrics and trace after a run; no-op
+// when observation was not armed.
+func writeObs(col *obs.Collector, metrics bool, traceOut string) {
+	if col == nil {
+		return
+	}
+	if metrics {
+		b, err := col.RenderJSON()
+		if err != nil {
+			fatalf("render metrics: %v", err)
+		}
+		fmt.Println(string(b))
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := col.Tracer().WriteJSON(f); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", col.Tracer().Len(), traceOut)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"indra/internal/chip"
 	"indra/internal/monitor"
 	"indra/internal/netsim"
+	"indra/internal/obs"
 	"indra/internal/parallel"
 	"indra/internal/workload"
 )
@@ -42,6 +43,12 @@ type ExpOptions struct {
 	// Meter, when non-nil, accumulates cell counts and wall/work time
 	// across experiments (the CLIs use it for the throughput summary).
 	Meter *parallel.Meter
+	// Obs, when non-nil, collects one metrics snapshot per simulation
+	// cell (keyed by cell configuration; rendered in canonical order,
+	// so the output is identical whatever the worker count). Cells that
+	// bypass RunService — Table 3's backup micro-runs, Fig 16's rollback
+	// variant, the fault sweep — are not registered.
+	Obs *obs.Suite
 }
 
 func (o ExpOptions) fill() ExpOptions {
@@ -58,7 +65,7 @@ func (o ExpOptions) fill() ExpOptions {
 }
 
 func (o ExpOptions) runOpts(cfg chip.Config) Options {
-	return Options{Chip: &cfg, Requests: o.Requests, Scale: o.Scale, Seed: o.Seed}
+	return Options{Chip: &cfg, Requests: o.Requests, Scale: o.Scale, Seed: o.Seed, ObsSuite: o.Obs}
 }
 
 // pool returns the worker pool experiments fan their cells out on.
@@ -680,6 +687,7 @@ func Table2(o ExpOptions) (*Table2Result, error) {
 			Seed:        o.Seed,
 			Attacks:     []attack.Kind{tc.kind},
 			AttackAfter: legit, // exploits arrive after the legit stream
+			ObsSuite:    o.Obs,
 		})
 		if err != nil {
 			return Table2Row{}, err

@@ -29,6 +29,7 @@ import (
 	"indra/internal/chip"
 	"indra/internal/monitor"
 	"indra/internal/netsim"
+	"indra/internal/obs"
 	"indra/internal/oslite"
 	"indra/internal/recovery"
 	"indra/internal/workload"
@@ -57,6 +58,16 @@ type Options struct {
 	UniformSlot int
 	// MaxInstructions caps the run (0 = a generous default).
 	MaxInstructions uint64
+	// Obs receives the run's metrics and trace events (nil = observation
+	// off; the default obs.Nop sink keeps output byte-identical).
+	Obs obs.Sink
+	// ObsSuite, when non-nil, registers this run as one experiment cell:
+	// a fresh collector is created under a configuration-derived key.
+	// Takes precedence over Obs.
+	ObsSuite *obs.Suite
+	// MetricsEvery snapshots the metrics registry every N executed
+	// instructions (0 = end-of-run snapshot only).
+	MetricsEvery uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -139,7 +150,20 @@ func RunWorkload(params workload.Params, opts Options) (*ServiceRun, error) {
 		reqs = stream
 	}
 
-	ch, err := chip.New(*opts.Chip)
+	// The chip config is copied before observation is attached: callers
+	// (and the isolated-chip runner) share one *chip.Config across runs,
+	// and each run needs its own per-cell sink.
+	cfg := *opts.Chip
+	if opts.MetricsEvery != 0 {
+		cfg.MetricsEvery = opts.MetricsEvery
+	}
+	if opts.Obs != nil {
+		cfg.Obs = opts.Obs
+	}
+	if opts.ObsSuite != nil {
+		cfg.Obs = opts.ObsSuite.Cell(obsCellKey(params.Name, opts, cfg))
+	}
+	ch, err := chip.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -174,3 +198,17 @@ func (r *ServiceRun) Process() *oslite.Process { return r.Chip.Process(0) }
 // DefaultChipConfig exposes the paper's platform configuration for
 // callers that tweak one knob.
 func DefaultChipConfig() chip.Config { return chip.DefaultConfig() }
+
+// obsCellKey derives a deterministic experiment-cell key from the
+// scalar knobs that distinguish cells within and across experiments.
+// Cells that agree on every listed knob (and therefore on their whole
+// simulation) may share a key; the suite disambiguates duplicates by
+// content, so the rendered output stays canonical either way.
+func obsCellKey(service string, o Options, cfg chip.Config) string {
+	return fmt.Sprintf(
+		"%s/scheme=%s/mon=%t/fifo=%d/cam=%d/bpred=%d/line=%d/moncall=%d/eager=%t/reboot=%t/slots=%d/res=%d/req=%d/seed=%d/scale=%g/atk=%d/uni=%t-%d",
+		service, cfg.Scheme, cfg.Monitoring, cfg.FIFOEntries, cfg.CAMSize, cfg.BPredEntries,
+		cfg.Checkpoint.LineBytes, cfg.MonitorCosts.Call, cfg.EagerRollback, cfg.RebootRecovery,
+		cfg.Resurrectees, cfg.Resurrectors,
+		o.Requests, o.Seed, o.Scale, len(o.Attacks), o.Uniform, o.UniformSlot)
+}

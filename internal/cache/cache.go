@@ -47,6 +47,7 @@ type Stats struct {
 	Misses     uint64
 	Writebacks uint64
 	Fills      uint64
+	Evictions  uint64 // valid lines displaced (clean or dirty)
 }
 
 // MissRate returns misses/accesses (0 when idle).
@@ -168,6 +169,7 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 	v := &ways[victim]
 	if v.valid {
 		res.EvictedValid = true
+		c.stats.Evictions++
 		res.EvictededAddr = c.reconstruct(set, v.tag)
 		if v.dirty {
 			res.Writeback = true

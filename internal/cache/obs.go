@@ -1,0 +1,25 @@
+package cache
+
+import "indra/internal/obs"
+
+// Instrument publishes one probe set per level under prefix
+// ("<prefix>.l1i.hits", ".misses", ".evictions", ...). Probes sample
+// the caches' existing counters at snapshot time, so the hot Access
+// path carries no extra work; a nil registry registers nothing.
+func (h *Hierarchy) Instrument(reg *obs.Registry, prefix string) {
+	for _, lv := range []struct {
+		name string
+		c    *Cache
+	}{{"l1i", h.l1i}, {"l1d", h.l1d}, {"l2", h.l2}} {
+		lv.c.Instrument(reg, prefix+"."+lv.name)
+	}
+}
+
+// Instrument publishes a single cache level's counters as probes.
+func (c *Cache) Instrument(reg *obs.Registry, prefix string) {
+	reg.Probe(prefix+".hits", func() uint64 { return c.stats.Accesses - c.stats.Misses })
+	reg.Probe(prefix+".misses", func() uint64 { return c.stats.Misses })
+	reg.Probe(prefix+".evictions", func() uint64 { return c.stats.Evictions })
+	reg.Probe(prefix+".writebacks", func() uint64 { return c.stats.Writebacks })
+	reg.Probe(prefix+".fills", func() uint64 { return c.stats.Fills })
+}

@@ -1,0 +1,18 @@
+package checkpoint
+
+import "indra/internal/obs"
+
+// Instrument publishes the delta engine's backup/restore activity as
+// probes under prefix. The chip calls this when a service process is
+// spawned (and again after a reboot-recovery respawn, replacing the
+// probes so they follow the live engine). A nil registry registers
+// nothing.
+func (e *Engine) Instrument(reg *obs.Registry, prefix string) {
+	reg.Probe(prefix+".line_backups", func() uint64 { return e.stats.LineBackups })
+	reg.Probe(prefix+".line_restores", func() uint64 { return e.stats.LineRestores })
+	reg.Probe(prefix+".pages_tracked", func() uint64 { return e.stats.PagesTracked })
+	reg.Probe(prefix+".failures", func() uint64 { return e.stats.Failures })
+	reg.Probe(prefix+".backup_cycles", func() uint64 { return e.stats.BackupCycles })
+	reg.Probe(prefix+".restore_cycles", func() uint64 { return e.stats.RestoreCycles })
+	reg.Probe(prefix+".gts", func() uint64 { return e.gts })
+}

@@ -23,6 +23,7 @@ import (
 	"indra/internal/mem"
 	"indra/internal/monitor"
 	"indra/internal/netsim"
+	"indra/internal/obs"
 	"indra/internal/oslite"
 	"indra/internal/recovery"
 	"indra/internal/trace"
@@ -131,6 +132,13 @@ type Config struct {
 	// Degradation selects the posture taken when protection is lost
 	// (default DegradeFailClosed: security over availability).
 	Degradation DegradationMode
+
+	// Obs receives metrics and trace events (nil = the obs.Nop sink:
+	// nil handles everywhere, no allocation, byte-identical output).
+	Obs obs.Sink
+	// MetricsEvery takes a registry snapshot every N executed
+	// instructions during Run (0 = only the end-of-run snapshot).
+	MetricsEvery uint64
 }
 
 // DefaultConfig mirrors the paper's evaluation platform: a dual-core
@@ -190,6 +198,14 @@ type Chip struct {
 	hb      []*watchdog.Heartbeat // one per resurrector; nil entries = disabled
 	pstats  ProtectionStats
 	protLog []string
+
+	// Observability: the sink plus cached registry/tracer handles (nil
+	// when disabled) and the chip's event-time metric handles.
+	sink    obs.Sink
+	reg     *obs.Registry
+	tr      *obs.Tracer
+	om      chipMetrics
+	obsNext uint64 // next Instret threshold for a MetricsEvery snapshot
 }
 
 // slotState is the OS scheduling state of one resurrectee core: the
@@ -211,6 +227,9 @@ type slotState struct {
 	drops       uint64
 	degraded    bool
 	unmonitored bool
+
+	// reqStart is the active request's start cycle (tracer spans only).
+	reqStart uint64
 }
 
 // activeProc returns the process owning the core (nil when empty).
@@ -264,6 +283,9 @@ func New(cfg Config) (*Chip, error) {
 	if cfg.Resurrectors <= 0 {
 		cfg.Resurrectors = 1
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.Nop()
+	}
 	c := &Chip{
 		cfg:     cfg,
 		phys:    mem.NewPhysical(cfg.PhysMemBytes),
@@ -273,6 +295,10 @@ func New(cfg Config) (*Chip, error) {
 		slots:   make([]slotState, cfg.Resurrectees),
 		monClks: make([]uint64, cfg.Resurrectors),
 		pending: make([]*monitor.Violation, cfg.Resurrectees),
+		sink:    cfg.Obs,
+		reg:     cfg.Obs.Registry(),
+		tr:      cfg.Obs.Tracer(),
+		obsNext: cfg.MetricsEvery,
 	}
 	if cfg.MonitorPolicy != nil {
 		c.mon.Policy = *cfg.MonitorPolicy
@@ -313,6 +339,7 @@ func New(cfg Config) (*Chip, error) {
 			Env:          env,
 		})
 	}
+	c.instrument()
 	return c, nil
 }
 
@@ -445,6 +472,7 @@ func (c *Chip) LaunchService(slot int, name string, prog *asm.Program, port *net
 		return nil, err
 	}
 	c.armTamperer(slot, p.Ckpt)
+	c.instrumentCkpt(slot, p)
 	st := &c.slots[slot]
 	st.procs = append(st.procs, p)
 	st.ports = append(st.ports, port)
@@ -510,6 +538,7 @@ func (c *Chip) rebootSlot(idx int) error {
 	st.ctxs[i] = c.kern.InitialContext(p)
 	c.registerApp(st.names[i], st.progs[i], p)
 	c.armTamperer(idx, p.Ckpt)
+	c.instrumentCkpt(idx, p)
 
 	core := c.cores[idx]
 	core.SetProcess(p.PID, p.AS)
@@ -547,6 +576,7 @@ func (c *Chip) switchProcess(idx int) bool {
 	core.SetHalted(false)
 	core.AddCycles(ContextSwitchCycles)
 	st.switchReq = false
+	c.tr.Instant("context-switch", core.ID, core.Cycles())
 	return true
 }
 
@@ -610,11 +640,19 @@ func (h hooksMux) SyncPoint(p *oslite.Process) (uint64, error) {
 
 func (h hooksMux) RequestStart(p *oslite.Process, cpuIface oslite.CPU) {
 	core := h.c.cores[h.c.activeIdx]
+	if h.c.tr != nil {
+		h.c.slots[h.c.activeIdx].reqStart = core.Cycles()
+	}
 	cycles := h.c.rec.OnRequestStart(p, core)
 	core.AddCycles(cycles)
 }
 
 func (h hooksMux) RequestDone(p *oslite.Process, reqID uint64) {
+	if h.c.tr != nil {
+		core := h.c.cores[h.c.activeIdx]
+		start := h.c.slots[h.c.activeIdx].reqStart
+		h.c.tr.Complete(fmt.Sprintf("%s req %d", p.Name, reqID), core.ID, start, core.Cycles()-start)
+	}
 	h.c.rec.OnRequestDone(p)
 	// Request-grained scheduling: with several processes on the slot,
 	// a completed request yields the core to the next one.

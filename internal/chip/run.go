@@ -59,10 +59,12 @@ func (c *Chip) emitTrace(idx int, rec trace.Record) uint64 {
 	if c.inj != nil {
 		if c.inj.DropRecord(now) {
 			c.pstats.InjectedDrops++
+			c.om.injectedDrops.Inc()
 			return 0
 		}
 		if c.inj.CorruptRecord(now, &rec) {
 			c.pstats.InjectedCorrupts++
+			c.om.injectedCorrupts.Inc()
 		}
 	}
 
@@ -108,12 +110,19 @@ func (c *Chip) verifyAt(idx int, rec trace.Record) uint64 {
 		if s := c.inj.MonitorStall(start); s > 0 {
 			cost += s
 			c.pstats.MonitorStallCycles += s
+			c.om.monitorStallCycles.Add(s)
 		}
 	}
 	c.monClks[r] = start + cost
 	if v != nil && c.pending[idx] == nil {
 		c.pending[idx] = v
 		c.violationLog = append(c.violationLog, v)
+		// Detection latency: cycles between the record leaving the core
+		// and the monitor's verdict.
+		c.om.violationLatency.Observe(c.monClks[r] - rec.EnqueuedAt)
+		if c.tr != nil {
+			c.tr.Instant("violation:"+rec.Kind.String(), c.cores[idx].ID, c.monClks[r])
+		}
 	}
 	return c.monClks[r]
 }
@@ -199,6 +208,8 @@ func (c *Chip) recoverSlot(idx int, cause error) {
 		return
 	}
 	cycles := c.rec.OnFailure(p, core)
+	c.om.rollbackCycles.Observe(cycles)
+	c.tr.Complete("micro-rollback", core.ID, core.Cycles(), cycles)
 	core.AddCycles(cycles)
 }
 
@@ -303,6 +314,18 @@ func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
 			}
 		}
 		res.Instret += executed
+		if c.cfg.MetricsEvery > 0 && res.Instret >= c.obsNext {
+			for res.Instret >= c.obsNext {
+				c.obsNext += c.cfg.MetricsEvery
+			}
+			var cyc uint64
+			for _, core := range c.cores {
+				if cy := core.Cycles(); cy > cyc {
+					cyc = cy
+				}
+			}
+			c.obsSnapshot(cyc)
+		}
 		if allHalted {
 			res.Halted = true
 			break
@@ -323,6 +346,7 @@ func (c *Chip) finishAccounting(res *RunResult) {
 		}
 	}
 	res.Violations = len(c.violationLog)
+	c.obsSnapshot(res.Cycles)
 }
 
 // canRecover reports whether a detection can be handled: either the

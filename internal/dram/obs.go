@@ -1,0 +1,15 @@
+package dram
+
+import "indra/internal/obs"
+
+// Instrument publishes the model's access/page-status counters as
+// probes under prefix ("<prefix>.row_hits", ...). Probes sample the
+// existing stats struct at snapshot time; a nil registry registers
+// nothing.
+func (m *Model) Instrument(reg *obs.Registry, prefix string) {
+	reg.Probe(prefix+".accesses", func() uint64 { return m.stats.Accesses })
+	reg.Probe(prefix+".row_hits", func() uint64 { return m.stats.Hits })
+	reg.Probe(prefix+".row_empties", func() uint64 { return m.stats.Empties })
+	reg.Probe(prefix+".row_conflicts", func() uint64 { return m.stats.Conflicts })
+	reg.Probe(prefix+".cycles", func() uint64 { return m.stats.Cycles })
+}

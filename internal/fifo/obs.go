@@ -1,0 +1,16 @@
+package fifo
+
+import "indra/internal/obs"
+
+// Instrument publishes the queue's traffic counters as probes under
+// prefix: pushes, pops, full_events (producer stalls), the occupancy
+// high-water mark, and the instantaneous occupancy (meaningful in
+// mid-run snapshots; 0 at end of run once the monitor has drained).
+// A nil registry registers nothing.
+func (q *Queue) Instrument(reg *obs.Registry, prefix string) {
+	reg.Probe(prefix+".pushes", func() uint64 { return q.stats.Pushes })
+	reg.Probe(prefix+".pops", func() uint64 { return q.stats.Pops })
+	reg.Probe(prefix+".full_events", func() uint64 { return q.stats.FullEvents })
+	reg.Probe(prefix+".occupancy_high", func() uint64 { return uint64(q.stats.MaxDepth) })
+	reg.Probe(prefix+".occupancy", func() uint64 { return uint64(q.count) })
+}

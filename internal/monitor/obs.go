@@ -1,0 +1,19 @@
+package monitor
+
+import (
+	"indra/internal/obs"
+	"indra/internal/trace"
+)
+
+// Instrument publishes the monitor's per-class inspection counts
+// ("<prefix>.records.call", ".records.code-origin", ...), detection
+// count and accumulated verification cycles as probes. A nil registry
+// registers nothing.
+func (m *Monitor) Instrument(reg *obs.Registry, prefix string) {
+	for k := trace.KindCall; k <= trace.KindLongjmp; k++ {
+		kind := k
+		reg.Probe(prefix+".records."+kind.String(), func() uint64 { return m.stats.Records[kind] })
+	}
+	reg.Probe(prefix+".violations", func() uint64 { return m.stats.Violations })
+	reg.Probe(prefix+".cycles", func() uint64 { return m.stats.Cycles })
+}

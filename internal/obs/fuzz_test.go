@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTraceExport feeds the Chrome trace encoder arbitrary event names,
+// timestamps and track IDs: whatever goes in, WriteJSON must neither
+// panic nor emit invalid JSON, and the decoded file must round-trip the
+// event count. Invalid UTF-8 in names is the interesting case —
+// encoding/json replaces it with U+FFFD, which is a lossy but always
+// valid encoding.
+func FuzzTraceExport(f *testing.F) {
+	f.Add("req 1", uint64(100), uint64(50), 1, byte(0))
+	f.Add("violation:return", uint64(0), uint64(0), 0, byte(1))
+	f.Add("", uint64(1<<63), uint64(1<<62), -5, byte(2))
+	f.Add("name\"with\\quotes\n", uint64(42), uint64(0), 1000000, byte(0))
+	f.Add("\xff\xfe invalid utf8 \x80", uint64(7), uint64(7), 2, byte(1))
+	f.Add("unicode é世界", uint64(3), uint64(9), 3, byte(2))
+
+	f.Fuzz(func(t *testing.T, name string, ts, dur uint64, tid int, kind byte) {
+		tr := NewTracer()
+		switch kind % 3 {
+		case 0:
+			tr.Instant(name, tid, ts)
+		case 1:
+			tr.Complete(name, tid, ts, dur)
+		case 2:
+			tr.ThreadName(tid, name)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON(%q): %v", name, err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("invalid JSON for name %q: %s", name, buf.Bytes())
+		}
+		var file struct {
+			TraceEvents []Event `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+			t.Fatalf("round-trip(%q): %v", name, err)
+		}
+		if len(file.TraceEvents) != 1 {
+			t.Fatalf("event count round-trip: got %d, want 1", len(file.TraceEvents))
+		}
+		got := file.TraceEvents[0]
+		ts2, dur2, name2 := got.TS, got.Dur, got.Name
+		if kind%3 == 2 {
+			if got.Args == nil {
+				t.Fatalf("metadata event lost args: %+v", got)
+			}
+			name2 = got.Args.Name
+		}
+		if utf8.ValidString(name) && name2 != name && kind%3 != 2 {
+			t.Fatalf("valid-UTF8 name did not round-trip: %q -> %q", name, name2)
+		}
+		if kind%3 != 2 && ts2 != ts {
+			t.Fatalf("ts did not round-trip: %d -> %d", ts, ts2)
+		}
+		if kind%3 == 1 && dur2 != dur {
+			t.Fatalf("dur did not round-trip: %d -> %d", dur, dur2)
+		}
+	})
+}

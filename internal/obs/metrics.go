@@ -1,0 +1,354 @@
+// Package obs is the simulator's observability layer: a metrics
+// registry (counters, gauges, log2-bucket histograms, sampled probes)
+// and a cycle-stamped event tracer exporting Chrome trace-event JSON
+// (loadable in chrome://tracing and Perfetto).
+//
+// The design contract is zero cost when disabled. Metric handles are
+// obtained from a *Registry; a nil Registry yields nil handles, and
+// every handle method is nil-safe, so instrumented hot paths pay one
+// nil check and no allocation when observation is off. The chip threads
+// a single Sink through construction; the default Nop sink returns nil
+// for everything and keeps simulation output byte-identical.
+//
+// All handle mutations use atomics, so a registry shared by concurrent
+// producers is race-safe by construction. Probes (sampled closures over
+// the simulator's existing single-threaded stats structs) are read only
+// from Snapshot, which the owning goroutine calls.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil Counter ignores all operations.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous non-negative level with a high-water mark.
+// A nil Gauge ignores all operations.
+type Gauge struct {
+	v  atomic.Uint64
+	hi atomic.Uint64
+}
+
+// Set records the current level and advances the high-water mark.
+func (g *Gauge) Set(v uint64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		h := g.hi.Load()
+		if v <= h || g.hi.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last Set level (0 for a nil handle).
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// High returns the high-water mark (0 for a nil handle).
+func (g *Gauge) High() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.hi.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 is v==0).
+const histBuckets = 65
+
+// Histogram distributes observations over fixed log2 buckets. A nil
+// Histogram ignores all operations.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations (0 for a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for a nil handle).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot renders the histogram's non-empty buckets in ascending order.
+func (h *Histogram) snapshot() HistValue {
+	hv := HistValue{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hv.Buckets = append(hv.Buckets, HistBucket{Pow: i, Count: n})
+		}
+	}
+	return hv
+}
+
+// Registry names and owns metric handles. A nil *Registry is the
+// disabled registry: it returns nil handles and ignores probes, so
+// instrumentation code never branches on enablement itself.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	probes   map[string]func() uint64
+}
+
+// NewRegistry creates an armed registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		probes:   make(map[string]func() uint64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Probe registers a sampled metric: fn is evaluated at every Snapshot
+// and its value reported alongside the counters. Probes let subsystems
+// expose their existing single-threaded stats structs without keeping a
+// second event-time counter; they are read only from Snapshot, on the
+// owning goroutine. Registering the same name again replaces the probe
+// (the chip re-instruments a slot's checkpoint engine after a reboot).
+// No-op on a nil registry.
+func (r *Registry) Probe(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.probes[name] = fn
+}
+
+// GaugeValue is a gauge's rendered state.
+type GaugeValue struct {
+	Value uint64 `json:"value"`
+	High  uint64 `json:"high"`
+}
+
+// HistBucket is one non-empty log2 bucket: observations v with
+// bits.Len64(v) == Pow, i.e. 2^(Pow-1) <= v < 2^Pow (Pow 0 is v == 0).
+type HistBucket struct {
+	Pow   int    `json:"pow"`
+	Count uint64 `json:"count"`
+}
+
+// HistValue is a histogram's rendered state.
+type HistValue struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is the registry's state at one simulated cycle. Probes are
+// folded into Counters. encoding/json renders map keys sorted, so a
+// marshalled snapshot is deterministic.
+type Snapshot struct {
+	Cycle      uint64                `json:"cycle"`
+	Counters   map[string]uint64     `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue `json:"gauges,omitempty"`
+	Histograms map[string]HistValue  `json:"histograms,omitempty"`
+}
+
+// Snapshot samples every metric and probe. Safe on a nil registry
+// (returns an empty snapshot with the given cycle).
+func (r *Registry) Snapshot(cycle uint64) Snapshot {
+	s := Snapshot{Cycle: cycle}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters)+len(r.probes) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters)+len(r.probes))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+		for name, fn := range r.probes {
+			s.Counters[name] = fn()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeValue, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = GaugeValue{Value: g.Value(), High: g.High()}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistValue, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// CounterNames returns the registered counter and probe names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.probes))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.probes {
+		if _, dup := r.counters[name]; !dup {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds other into s: counters, histogram counts/sums/buckets and
+// cycles-as-max combine commutatively, so a fold over any permutation
+// of cells yields identical output (the parallel runner relies on
+// this). Gauges merge by max of value and high-water.
+func (s *Snapshot) Merge(other Snapshot) {
+	if other.Cycle > s.Cycle {
+		s.Cycle = other.Cycle
+	}
+	if len(other.Counters) > 0 && s.Counters == nil {
+		s.Counters = make(map[string]uint64, len(other.Counters))
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	if len(other.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]GaugeValue, len(other.Gauges))
+	}
+	for name, g := range other.Gauges {
+		cur := s.Gauges[name]
+		if g.Value > cur.Value {
+			cur.Value = g.Value
+		}
+		if g.High > cur.High {
+			cur.High = g.High
+		}
+		s.Gauges[name] = cur
+	}
+	if len(other.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = make(map[string]HistValue, len(other.Histograms))
+	}
+	for name, h := range other.Histograms {
+		s.Histograms[name] = mergeHist(s.Histograms[name], h)
+	}
+}
+
+func mergeHist(a, b HistValue) HistValue {
+	out := HistValue{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	var counts [histBuckets]uint64
+	for _, hb := range a.Buckets {
+		counts[hb.Pow] += hb.Count
+	}
+	for _, hb := range b.Buckets {
+		counts[hb.Pow] += hb.Count
+	}
+	for pow, n := range counts {
+		if n > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Pow: pow, Count: n})
+		}
+	}
+	return out
+}

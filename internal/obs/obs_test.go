@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var reg *Registry // disabled
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z")
+	reg.Probe("p", func() uint64 { return 7 })
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(5)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || g.High() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil handles must read as zero")
+	}
+	snap := reg.Snapshot(42)
+	if snap.Cycle != 42 || snap.Counters != nil {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+	var tr *Tracer
+	tr.Instant("i", 0, 1)
+	tr.Complete("c", 0, 1, 2)
+	tr.ThreadName(0, "t")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer must drop events")
+	}
+}
+
+// TestDisabledPathAllocatesNothing is the zero-cost-when-off contract:
+// updating nil handles on a hot path must not allocate.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(17)
+		g.Set(3)
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metric ops allocated %v times per run", allocs)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if reg.Counter("c") != c {
+		t.Fatalf("same name must return the same handle")
+	}
+
+	g := reg.Gauge("g")
+	g.Set(10)
+	g.Set(4)
+	if g.Value() != 4 || g.High() != 10 {
+		t.Fatalf("gauge value=%d high=%d, want 4/10", g.Value(), g.High())
+	}
+
+	h := reg.Histogram("h")
+	for _, v := range []uint64{0, 1, 1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1007 {
+		t.Fatalf("hist count=%d sum=%d, want 6/1007", h.Count(), h.Sum())
+	}
+	hv := h.snapshot()
+	// Buckets: pow0 {0}, pow1 {1,1}, pow2 {2,3}, pow10 {1000}.
+	want := []HistBucket{{0, 1}, {1, 2}, {2, 2}, {10, 1}}
+	if len(hv.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", hv.Buckets, want)
+	}
+	for i, b := range hv.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestSnapshotIncludesProbesAndIsDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.counter").Add(5)
+	v := uint64(1)
+	reg.Probe("a.probe", func() uint64 { return v })
+	reg.Gauge("g").Set(2)
+	reg.Histogram("h").Observe(8)
+
+	s1 := reg.Snapshot(100)
+	if s1.Counters["a.probe"] != 1 || s1.Counters["b.counter"] != 5 {
+		t.Fatalf("snapshot counters = %+v", s1.Counters)
+	}
+	v = 9
+	if s2 := reg.Snapshot(200); s2.Counters["a.probe"] != 9 {
+		t.Fatalf("probe must be resampled, got %d", s2.Counters["a.probe"])
+	}
+
+	// Re-registering a probe name replaces it (re-instrumentation after
+	// a slot reboot).
+	reg.Probe("a.probe", func() uint64 { return 77 })
+	if s := reg.Snapshot(300); s.Counters["a.probe"] != 77 {
+		t.Fatalf("replaced probe reads %d, want 77", s.Counters["a.probe"])
+	}
+
+	b1, err := json.Marshal(reg.Snapshot(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(reg.Snapshot(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("snapshot encoding is not deterministic:\n%s\n%s", b1, b2)
+	}
+
+	names := reg.CounterNames()
+	if len(names) != 2 || names[0] != "a.probe" || names[1] != "b.counter" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared")
+			h := reg.Histogram("hist")
+			g := reg.Gauge("gauge")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(uint64(j))
+				g.Set(uint64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := reg.Histogram("hist").Count(); got != 8000 {
+		t.Fatalf("concurrent hist count = %d, want 8000", got)
+	}
+	if got := reg.Gauge("gauge").High(); got != 999 {
+		t.Fatalf("concurrent gauge high = %d, want 999", got)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := Snapshot{
+		Cycle:      10,
+		Counters:   map[string]uint64{"x": 1, "y": 2},
+		Gauges:     map[string]GaugeValue{"g": {Value: 3, High: 5}},
+		Histograms: map[string]HistValue{"h": {Count: 2, Sum: 3, Buckets: []HistBucket{{1, 2}}}},
+	}
+	b := Snapshot{
+		Cycle:      7,
+		Counters:   map[string]uint64{"y": 5, "z": 1},
+		Gauges:     map[string]GaugeValue{"g": {Value: 9, High: 4}},
+		Histograms: map[string]HistValue{"h": {Count: 1, Sum: 8, Buckets: []HistBucket{{4, 1}}}},
+	}
+	a.Merge(b)
+	if a.Cycle != 10 {
+		t.Fatalf("cycle = %d", a.Cycle)
+	}
+	if a.Counters["x"] != 1 || a.Counters["y"] != 7 || a.Counters["z"] != 1 {
+		t.Fatalf("counters = %+v", a.Counters)
+	}
+	if g := a.Gauges["g"]; g.Value != 9 || g.High != 5 {
+		t.Fatalf("gauge = %+v", g)
+	}
+	h := a.Histograms["h"]
+	if h.Count != 3 || h.Sum != 11 || len(h.Buckets) != 2 {
+		t.Fatalf("hist = %+v", h)
+	}
+}
+
+func TestCollectorSnapshotLog(t *testing.T) {
+	col := NewCollector()
+	col.Registry().Counter("n").Add(1)
+	col.Snapshot(100)
+	col.Registry().Counter("n").Add(1)
+	col.Snapshot(200)
+	snaps := col.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	if snaps[0].Counters["n"] != 1 || snaps[1].Counters["n"] != 2 {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	if f := col.Final(); f.Cycle != 200 || f.Counters["n"] != 2 {
+		t.Fatalf("final = %+v", f)
+	}
+	if _, err := col.RenderJSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	s := Nop()
+	if s.Registry() != nil || s.Tracer() != nil {
+		t.Fatalf("nop sink must return nil registry and tracer")
+	}
+	s.Snapshot(1) // must not panic
+}
+
+// TestSuiteOrderIndependence is the merge-determinism core: the same
+// cells registered in different orders must render byte-identically.
+func TestSuiteOrderIndependence(t *testing.T) {
+	build := func(order []int) []byte {
+		s := NewSuite()
+		for _, i := range order {
+			col := s.Cell("cell")
+			col.Registry().Counter("v").Add(uint64(i))
+			col.Snapshot(uint64(i * 10))
+		}
+		b, err := s.RenderJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := build([]int{1, 2, 3})
+	b := build([]int{3, 1, 2})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("suite rendering depends on registration order:\n%s\n%s", a, b)
+	}
+	s := NewSuite()
+	s.Cell("a").Registry().Counter("v").Add(1)
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestTracerExport(t *testing.T) {
+	tr := NewTracer()
+	tr.ThreadName(1, "resurrectee-0")
+	tr.Complete("req 1", 1, 100, 50)
+	tr.Instant("violation:return", 1, 140)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.Bytes())
+	}
+	var f struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events", len(f.TraceEvents))
+	}
+	if f.TraceEvents[0].Ph != "M" || f.TraceEvents[0].Args == nil || f.TraceEvents[0].Args.Name != "resurrectee-0" {
+		t.Fatalf("metadata event = %+v", f.TraceEvents[0])
+	}
+	if e := f.TraceEvents[1]; e.Ph != "X" || e.TS != 100 || e.Dur != 50 {
+		t.Fatalf("complete event = %+v", e)
+	}
+	if e := f.TraceEvents[2]; e.Ph != "i" || e.TS != 140 || !strings.HasPrefix(e.Name, "violation") {
+		t.Fatalf("instant event = %+v", e)
+	}
+
+	// Empty and nil tracers still produce a valid, loadable file.
+	for _, empty := range []*Tracer{NewTracer(), nil} {
+		buf.Reset()
+		if err := empty.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(buf.Bytes()) || !strings.Contains(buf.String(), "traceEvents") {
+			t.Fatalf("empty trace export = %s", buf.Bytes())
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Sink is the single observation interface threaded through chip
+// construction. A disabled sink returns nil for both the registry and
+// the tracer — metric handles created from a nil registry are nil and
+// every operation on them is a no-op — so the instrumented simulator
+// allocates nothing and diverges nowhere when observation is off.
+type Sink interface {
+	// Registry returns the metrics registry, or nil when disabled.
+	Registry() *Registry
+	// Tracer returns the event tracer, or nil when disabled.
+	Tracer() *Tracer
+	// Snapshot records the registry state at the given cycle (mid-run
+	// for -metrics-every, and once when a run finishes).
+	Snapshot(cycle uint64)
+}
+
+// nop is the disabled sink.
+type nop struct{}
+
+func (nop) Registry() *Registry { return nil }
+func (nop) Tracer() *Tracer     { return nil }
+func (nop) Snapshot(uint64)     {}
+
+// Nop returns the disabled sink: nil registry, nil tracer, discarded
+// snapshots. This is what a chip uses when no sink is configured.
+func Nop() Sink { return nop{} }
+
+// Collector is the real sink: an armed registry, an optional tracer,
+// and the log of snapshots taken.
+type Collector struct {
+	reg *Registry
+	tr  *Tracer
+
+	mu    sync.Mutex
+	snaps []Snapshot
+}
+
+// NewCollector creates a collector with an armed registry and no
+// tracer; call EnableTracing to attach one.
+func NewCollector() *Collector {
+	return &Collector{reg: NewRegistry()}
+}
+
+// EnableTracing attaches (and returns) the collector's tracer.
+func (c *Collector) EnableTracing() *Tracer {
+	if c.tr == nil {
+		c.tr = NewTracer()
+	}
+	return c.tr
+}
+
+// Registry returns the collector's registry (nil on a nil collector).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Tracer returns the attached tracer, or nil when tracing is off.
+func (c *Collector) Tracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tr
+}
+
+// Snapshot samples the registry and appends to the snapshot log.
+func (c *Collector) Snapshot(cycle uint64) {
+	if c == nil {
+		return
+	}
+	s := c.reg.Snapshot(cycle)
+	c.mu.Lock()
+	c.snaps = append(c.snaps, s)
+	c.mu.Unlock()
+}
+
+// Snapshots returns the snapshot log in capture order.
+func (c *Collector) Snapshots() []Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Snapshot(nil), c.snaps...)
+}
+
+// Final returns the last snapshot taken (the end-of-run state), or a
+// zero snapshot when none was.
+func (c *Collector) Final() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.snaps) == 0 {
+		return Snapshot{}
+	}
+	return c.snaps[len(c.snaps)-1]
+}
+
+// RenderJSON marshals the snapshot log as indented, deterministic JSON.
+func (c *Collector) RenderJSON() ([]byte, error) {
+	type out struct {
+		Snapshots []Snapshot `json:"snapshots"`
+	}
+	snaps := c.Snapshots()
+	if snaps == nil {
+		snaps = []Snapshot{}
+	}
+	return json.MarshalIndent(out{Snapshots: snaps}, "", "  ")
+}
+
+var _ Sink = (*Collector)(nil)

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Suite collects one Collector per experiment simulation cell. Cells
+// are created concurrently by the parallel runner's workers; rendering
+// sorts them by (key, content), so the output is byte-identical
+// whatever the worker count or completion order, mirroring the
+// experiment layer's canonical-order merge.
+type Suite struct {
+	mu    sync.Mutex
+	cells []*suiteCell
+}
+
+type suiteCell struct {
+	key string
+	col *Collector
+}
+
+// NewSuite creates an empty suite.
+func NewSuite() *Suite { return &Suite{} }
+
+// Cell registers a new cell under key and returns its collector. Keys
+// describe the cell's configuration; duplicate keys are allowed (the
+// same platform configuration measured by several experiments) and are
+// disambiguated at render time by content order.
+func (s *Suite) Cell(key string) *Collector {
+	col := NewCollector()
+	s.mu.Lock()
+	s.cells = append(s.cells, &suiteCell{key: key, col: col})
+	s.mu.Unlock()
+	return col
+}
+
+// Len returns the number of registered cells.
+func (s *Suite) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// CellSummary is one cell's end-of-run snapshot.
+type CellSummary struct {
+	Key   string   `json:"key"`
+	Final Snapshot `json:"final"`
+}
+
+// rendered pairs a summary with its canonical encoding for sorting.
+type rendered struct {
+	sum CellSummary
+	enc []byte
+}
+
+func (s *Suite) render() ([]rendered, error) {
+	s.mu.Lock()
+	cells := append([]*suiteCell(nil), s.cells...)
+	s.mu.Unlock()
+	out := make([]rendered, 0, len(cells))
+	for _, c := range cells {
+		sum := CellSummary{Key: c.key, Final: c.col.Final()}
+		enc, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rendered{sum: sum, enc: enc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].sum.Key != out[j].sum.Key {
+			return out[i].sum.Key < out[j].sum.Key
+		}
+		return string(out[i].enc) < string(out[j].enc)
+	})
+	return out, nil
+}
+
+// Summaries returns every cell's end-of-run snapshot in canonical
+// (key, content) order.
+func (s *Suite) Summaries() ([]CellSummary, error) {
+	rs, err := s.render()
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]CellSummary, len(rs))
+	for i, r := range rs {
+		sums[i] = r.sum
+	}
+	return sums, nil
+}
+
+// Merged folds every cell's final snapshot into one: counters,
+// histogram counts and sums add, gauges take the max, the cycle is the
+// max. The fold is commutative, so the result is independent of cell
+// order and therefore of worker count.
+func (s *Suite) Merged() Snapshot {
+	s.mu.Lock()
+	cells := append([]*suiteCell(nil), s.cells...)
+	s.mu.Unlock()
+	var m Snapshot
+	for _, c := range cells {
+		m.Merge(c.col.Final())
+	}
+	return m
+}
+
+// RenderJSON marshals the whole suite — canonical cell summaries plus
+// the merged totals — as indented deterministic JSON.
+func (s *Suite) RenderJSON() ([]byte, error) {
+	sums, err := s.Summaries()
+	if err != nil {
+		return nil, err
+	}
+	if sums == nil {
+		sums = []CellSummary{}
+	}
+	type out struct {
+		Cells  []CellSummary `json:"cells"`
+		Merged Snapshot      `json:"merged"`
+	}
+	return json.MarshalIndent(out{Cells: sums, Merged: s.Merged()}, "", "  ")
+}
+
+// WriteDir writes one cell-NNN.json per cell (canonical order) and a
+// summary.json with the merged totals into dir, creating it if needed.
+func (s *Suite) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rs, err := s.render()
+	if err != nil {
+		return err
+	}
+	for i, r := range rs {
+		path := filepath.Join(dir, fmt.Sprintf("cell-%03d.json", i))
+		if err := os.WriteFile(path, append(r.enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	merged, err := json.MarshalIndent(s.Merged(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "summary.json"), append(merged, '\n'), 0o644)
+}

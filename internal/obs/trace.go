@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one Chrome trace-event JSON object. The subset used here:
+// ph "X" (complete span with dur), "i" (instant) and "M" (metadata,
+// e.g. thread_name). Timestamps are simulated cycles reported in the
+// format's microsecond field, so one trace-viewer microsecond equals
+// one core clock.
+type Event struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	TS   uint64     `json:"ts"`
+	Dur  uint64     `json:"dur,omitempty"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	S    string     `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args *EventArgs `json:"args,omitempty"`
+}
+
+// EventArgs carries metadata payloads (a struct, not a map, so the
+// encoded form is deterministic).
+type EventArgs struct {
+	Name string `json:"name"`
+}
+
+// traceFile is the Chrome trace-event JSON object format.
+type traceFile struct {
+	TraceEvents []Event `json:"traceEvents"`
+}
+
+// Tracer buffers cycle-stamped events for export. All methods are
+// nil-safe (a nil Tracer drops everything) and mutex-protected, so a
+// tracer can be shared like the registry's handles.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer creates an armed tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Instant records a point event on track tid at cycle ts.
+func (t *Tracer) Instant(name string, tid int, ts uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{Name: name, Ph: "i", TS: ts, TID: tid, S: "t"})
+	t.mu.Unlock()
+}
+
+// Complete records a span of dur cycles starting at cycle ts on track tid.
+func (t *Tracer) Complete(name string, tid int, ts, dur uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{Name: name, Ph: "X", TS: ts, Dur: dur, TID: tid})
+	t.mu.Unlock()
+}
+
+// ThreadName labels track tid in the viewer (a metadata event).
+func (t *Tracer) ThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{Name: "thread_name", Ph: "M", TID: tid, Args: &EventArgs{Name: name}})
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events (0 for a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSON exports the buffered events as a Chrome trace-event JSON
+// object ({"traceEvents": [...]}), loadable by chrome://tracing and
+// Perfetto. Arbitrary event names are safe: encoding/json escapes
+// control characters and replaces invalid UTF-8, so the output is
+// always valid JSON. Safe on a nil tracer (writes an empty trace).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: []Event{}}
+	if t != nil {
+		t.mu.Lock()
+		f.TraceEvents = append(f.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

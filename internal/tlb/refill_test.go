@@ -1,0 +1,67 @@
+package tlb
+
+import "testing"
+
+// TestFlushForcesRefill pins the miss/refill accounting around a flush:
+// a warm working set costs nothing, a flush invalidates every entry,
+// and re-touching the set pays one full walk per page again.
+func TestFlushForcesRefill(t *testing.T) {
+	const walk = 7
+	tl := New(Config{Name: "t", Entries: 8, Assoc: 2, WalkCycles: walk})
+	vpns := []uint32{0, 1, 2, 3, 4, 5, 6, 7} // fills all 4 sets, both ways
+
+	for _, v := range vpns {
+		if c := tl.Access(v); c != walk {
+			t.Fatalf("cold access %d cost %d", v, c)
+		}
+	}
+	for _, v := range vpns {
+		if c := tl.Access(v); c != 0 {
+			t.Fatalf("warm access %d cost %d", v, c)
+		}
+	}
+	tl.FlushAll()
+	for _, v := range vpns {
+		if c := tl.Access(v); c != walk {
+			t.Fatalf("post-flush access %d cost %d, want a refill walk", v, c)
+		}
+	}
+	s := tl.Stats()
+	if s.Accesses != 24 || s.Misses != 16 || s.Cycles != 16*walk {
+		t.Fatalf("stats after refill %+v", s)
+	}
+}
+
+// TestRefillPrefersInvalidWay checks victim selection: after a flush
+// frees both ways of a set, two refills must land in distinct ways (no
+// thrash on way 0), so the pair hits afterwards.
+func TestRefillPrefersInvalidWay(t *testing.T) {
+	tl := New(Config{Name: "t", Entries: 4, Assoc: 2, WalkCycles: 10})
+	tl.Access(0)
+	tl.Access(2) // both share set 0
+	tl.FlushAll()
+	tl.Access(0)
+	tl.Access(2)
+	if c := tl.Access(0); c != 0 {
+		t.Fatal("refill thrashed a single way: 0 evicted by 2")
+	}
+	if c := tl.Access(2); c != 0 {
+		t.Fatal("2 should be resident after refill")
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{Name: "t", Entries: 16, Assoc: 4, WalkCycles: 3}
+	if got := New(cfg).Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid configuration")
+		}
+	}()
+	New(Config{Name: "bad", Entries: 10, Assoc: 3})
+}
