@@ -230,34 +230,7 @@ func fullSuite(tb testing.TB, workers int, suite *obs.Suite) parallel.Stats {
 	tb.Helper()
 	m := parallel.NewMeter()
 	o := ExpOptions{Requests: 2, Scale: 1.0, Seed: 1, Workers: workers, Meter: m, Obs: suite}
-	if _, err := Fig9(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Fig10(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Fig11(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Fig12(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Fig13(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Fig14(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Fig15(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Fig16(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Table2(o); err != nil {
-		tb.Fatal(err)
-	}
-	if _, err := Table3(o); err != nil {
+	if err := FullEvaluation(o); err != nil {
 		tb.Fatal(err)
 	}
 	return m.Stats()

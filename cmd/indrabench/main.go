@@ -6,6 +6,8 @@
 //	indrabench -experiment all
 //	indrabench -experiment fig16 -requests 10 -scale 1
 //	indrabench -experiment table3 -workers 1
+//	indrabench -perfcheck
+//	indrabench -perfcheck -update-bench
 //
 // Experiments: table2 table3 table4 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 fig16, or "all". Scale 1.0 is the calibrated 1/10-paper request
@@ -18,6 +20,12 @@
 // cells out to -workers goroutines (default GOMAXPROCS) and merges
 // them in canonical order: the printed figures are byte-identical to a
 // serial run, and a timing summary goes to stderr.
+//
+// -perfcheck switches to the benchmark-regression gate: it measures the
+// standard performance suite (indra.PerfSuite), writes BENCH_pr.json,
+// and fails when any cell regresses past the thresholds relative to
+// BENCH_baseline.json's perf section (see internal/perf). With
+// -update-bench it instead refreshes that perf section in place.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"indra"
 	"indra/internal/obs"
 	"indra/internal/parallel"
+	"indra/internal/perf"
 )
 
 func main() {
@@ -41,8 +50,20 @@ func main() {
 		seed     = flag.Uint("seed", 1, "request stream seed")
 		workers  = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = serial; output is identical)")
 		metrics  = flag.String("metrics-dir", "", "write one metrics JSON per simulation cell plus a merged summary.json into this directory")
+
+		perfcheck    = flag.Bool("perfcheck", false, "run the performance suite, write -perf-out, and gate against the baseline's perf section")
+		perfOut      = flag.String("perf-out", "BENCH_pr.json", "perfcheck report path")
+		perfBaseline = flag.String("perf-baseline", "BENCH_baseline.json", "benchmark baseline document")
+		updateBench  = flag.Bool("update-bench", false, "with -perfcheck: rewrite the baseline's perf section instead of gating")
+		perfNsTol    = flag.Float64("perf-ns-threshold", 0.10, "relative ns/op regression tolerance (0.10 = fail when >10% slower)")
+		perfAllocTol = flag.Float64("perf-allocs-threshold", 0, "relative allocs/op regression tolerance (0 = any increase fails)")
 	)
 	flag.Parse()
+
+	if *perfcheck {
+		os.Exit(runPerfCheck(*perfOut, *perfBaseline, *updateBench,
+			perf.Thresholds{NsPct: *perfNsTol, AllocsPct: *perfAllocTol}))
+	}
 
 	meter := parallel.NewMeter()
 	o := indra.ExpOptions{Requests: *requests, Scale: *scale, Seed: uint32(*seed), Workers: *workers, Meter: meter}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"indra"
+	"indra/internal/perf"
+)
+
+// runPerfCheck is the -perfcheck mode: measure the standard performance
+// suite, write the report to outPath (BENCH_pr.json), and either gate
+// against the committed baseline's perf section or — with -update-bench
+// — rewrite that section in place (the sim section is owned by
+// TestBenchBaseline and preserved). Returns the process exit code.
+func runPerfCheck(outPath, baselinePath string, update bool, th perf.Thresholds) int {
+	rep, err := perf.RunAll(indra.PerfSuite(), func(name string) {
+		fmt.Fprintf(os.Stderr, "perfcheck: measuring %s\n", name)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+		return 1
+	}
+	if err := (&perf.File{Perf: rep}).WriteFile(outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: write %s: %v\n", outPath, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: report written to %s\n", outPath)
+
+	if update {
+		doc, err := perf.ReadFile(baselinePath)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+				return 1
+			}
+			doc = &perf.File{}
+		}
+		doc.Perf = rep
+		if err := doc.WriteFile(baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: write %s: %v\n", baselinePath, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "perfcheck: baseline perf section updated in %s\n", baselinePath)
+		fmt.Print(perf.FormatTable(rep, nil))
+		return 0
+	}
+
+	doc, err := perf.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: no baseline %s (create with -perfcheck -update-bench): %v\n", baselinePath, err)
+		return 1
+	}
+	if len(doc.Perf) == 0 {
+		fmt.Fprintf(os.Stderr, "perfcheck: %s has no perf section (create with -perfcheck -update-bench)\n", baselinePath)
+		return 1
+	}
+	fmt.Print(perf.FormatTable(rep, doc.Perf))
+	regs := perf.Compare(doc.Perf, rep, th)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "perfcheck: %d regression(s) against %s (thresholds: ns/op +%.0f%%, allocs/op +%.0f%%):\n",
+			len(regs), baselinePath, th.NsPct*100, th.AllocsPct*100)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", r)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: ok (%d cells within thresholds of %s)\n", len(rep), baselinePath)
+	return 0
+}

@@ -66,10 +66,18 @@ type line struct {
 }
 
 // Cache is a single tag-array cache level. Not safe for concurrent use.
+//
+// The tag array is one flat slice indexed set*assoc — a set's ways are
+// contiguous — so the per-access lookup is a single bounds-checked
+// slice window with no per-set pointer chase. The set and tag field
+// widths are precomputed at construction; the access path does no
+// iterative bit counting.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line // flat tag array: set s occupies lines[s*assoc : (s+1)*assoc]
+	assoc    uint32
 	setMask  uint32
+	setBits  uint32 // width of the set-index field (tag shift amount)
 	lineBits uint32
 	clock    uint64
 	stats    Stats
@@ -82,19 +90,16 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nSets := cfg.SizeBytes / (cfg.LineBytes * uint32(cfg.Assoc))
-	sets := make([][]line, nSets)
-	backing := make([]line, int(nSets)*cfg.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
-	}
 	lineBits := uint32(0)
 	for l := cfg.LineBytes; l > 1; l >>= 1 {
 		lineBits++
 	}
 	return &Cache{
 		cfg:      cfg,
-		sets:     sets,
+		lines:    make([]line, int(nSets)*cfg.Assoc),
+		assoc:    uint32(cfg.Assoc),
 		setMask:  nSets - 1,
+		setBits:  popBits(nSets - 1),
 		lineBits: lineBits,
 	}
 }
@@ -113,7 +118,7 @@ func (c *Cache) LineAddr(addr uint32) uint32 { return addr &^ (c.cfg.LineBytes -
 
 func (c *Cache) decompose(addr uint32) (set uint32, tag uint32) {
 	l := addr >> c.lineBits
-	return l & c.setMask, l >> popBits(c.setMask)
+	return l & c.setMask, l >> c.setBits
 }
 
 func popBits(mask uint32) uint32 {
@@ -141,7 +146,7 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 	c.clock++
 	c.stats.Accesses++
 	set, tag := c.decompose(addr)
-	ways := c.sets[set]
+	ways := c.lines[set*c.assoc : (set+1)*c.assoc]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lru = c.clock
@@ -187,14 +192,14 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 
 // reconstruct rebuilds a line base address from set index and tag.
 func (c *Cache) reconstruct(set, tag uint32) uint32 {
-	return ((tag << popBits(c.setMask)) | set) << c.lineBits
+	return ((tag << c.setBits) | set) << c.lineBits
 }
 
 // Contains reports whether the line holding addr is present (no state
 // change; for tests and introspection).
 func (c *Cache) Contains(addr uint32) bool {
 	set, tag := c.decompose(addr)
-	for _, w := range c.sets[set] {
+	for _, w := range c.lines[set*c.assoc : (set+1)*c.assoc] {
 		if w.valid && w.tag == tag {
 			return true
 		}
@@ -206,23 +211,17 @@ func (c *Cache) Contains(addr uint32) bool {
 // Section 2.3.3). Dirty lines are discarded, not written back: recovery
 // explicitly reconstructs memory state through the checkpoint engine.
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
-	}
+	clear(c.lines)
 }
 
 // Flush writes back all dirty lines, returning how many were dirty.
 func (c *Cache) Flush() int {
 	n := 0
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].valid && c.sets[s][w].dirty {
-				n++
-				c.sets[s][w].dirty = false
-				c.stats.Writebacks++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
+			c.lines[i].dirty = false
+			c.stats.Writebacks++
 		}
 	}
 	return n

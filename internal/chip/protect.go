@@ -136,7 +136,7 @@ func (c *Chip) escalateStall(idx int) {
 	core := c.cores[idx]
 	now := core.Cycles()
 
-	c.queues[idx].Drain()
+	c.queues[idx].DiscardAll()
 	if r := c.resOf(idx); c.monClks[r] < now {
 		c.monClks[r] = now
 	}
@@ -186,7 +186,7 @@ func (c *Chip) degrade(idx int, reason string) {
 		// Serve on, unmonitored: the FIFO tap is closed and the backlog
 		// discarded, but requests keep flowing.
 		st.unmonitored = true
-		c.queues[idx].Drain()
+		c.queues[idx].DiscardAll()
 		c.pending[idx] = nil
 		c.protEvent("cycle %d slot %d: degraded fail-open (%s); serving unmonitored", core.Cycles(), idx, reason)
 	default:

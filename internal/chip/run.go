@@ -188,7 +188,7 @@ func (c *Chip) recoverSlot(idx int, cause error) {
 
 	// Records from the aborted execution are meaningless once the
 	// shadow stack snapshot is restored: discard them unverified.
-	c.queues[idx].Drain()
+	c.queues[idx].DiscardAll()
 	if r := c.resOf(idx); c.monClks[r] < core.Cycles() {
 		c.monClks[r] = core.Cycles()
 	}

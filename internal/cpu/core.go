@@ -112,6 +112,7 @@ type Core struct {
 	pid    int
 	halted bool
 	stats  Stats
+	dec    predecoder
 
 	bpred      *BPred
 	mispredict uint64 // penalty cycles per wrong prediction
@@ -153,6 +154,7 @@ func New(cfg Config) *Core {
 		bpred:      NewBPred(cfg.BPredEntries),
 		mispredict: penalty,
 		env:        cfg.Env,
+		dec:        newPredecoder(),
 	}
 }
 
@@ -257,16 +259,19 @@ func (c *Core) Restore(ctx oslite.Context, flushCaches bool) {
 const pageMask = oslite.PageBytes - 1
 
 // fetch translates and fetches the instruction at pc, running the
-// code-origin tap on IL1 fills.
-func (c *Core) fetch() (uint32, error) {
+// code-origin tap on IL1 fills. The returned instruction comes from
+// the predecode cache: the timing model (TLB, IL1, origin tap) runs on
+// every fetch, but the bit-level decode is paid only the first time a
+// given physical word — under its current page contents — executes.
+func (c *Core) fetch() (*isa.Predecoded, error) {
 	pc := c.pc
 	c.stats.Cycles += c.itlb.Access(pc / oslite.PageBytes)
 	pa, _, err := c.as.Translate(pc)
 	if err != nil {
-		return 0, &Fault{Kind: FaultPage, PC: pc, Addr: pc, Err: err}
+		return nil, &Fault{Kind: FaultPage, PC: pc, Addr: pc, Err: err}
 	}
 	if err := c.wd.Check(c.ID, pa, watchdog.Execute); err != nil {
-		return 0, &Fault{Kind: FaultWatchdog, PC: pc, Addr: pa, Err: err}
+		return nil, &Fault{Kind: FaultWatchdog, PC: pc, Addr: pa, Err: err}
 	}
 	ev := c.hier.Fetch(pa)
 	c.stats.Cycles += ev.Cycles
@@ -283,7 +288,7 @@ func (c *Core) fetch() (uint32, error) {
 			}))
 		}
 	}
-	return c.phys.Read32(pa), nil
+	return c.dec.entry(c.phys, pa), nil
 }
 
 // dataAccess translates va and performs the hierarchy access; write
@@ -323,13 +328,12 @@ func (c *Core) Step() error {
 	if c.halted {
 		return nil
 	}
-	word, err := c.fetch()
+	in, err := c.fetch()
 	if err != nil {
 		return err
 	}
-	in := isa.Decode(word)
-	if !in.Op.Valid() {
-		return &Fault{Kind: FaultIllegalInst, PC: c.pc, Err: fmt.Errorf("opcode %d", word>>24)}
+	if !in.Valid {
+		return &Fault{Kind: FaultIllegalInst, PC: c.pc, Err: fmt.Errorf("opcode %d", uint8(in.Op))}
 	}
 
 	c.stats.Instret++
@@ -345,21 +349,21 @@ func (c *Core) Step() error {
 		c.halted = true
 
 	case isa.OpLui:
-		c.SetReg(int(in.Rd), uint32(in.Imm)<<12)
+		c.SetReg(int(in.Rd), in.ImmU<<12)
 	case isa.OpAddi:
-		c.SetReg(int(in.Rd), rs1+uint32(in.Imm))
+		c.SetReg(int(in.Rd), rs1+in.ImmU)
 	case isa.OpAndi:
-		c.SetReg(int(in.Rd), rs1&uint32(in.Imm))
+		c.SetReg(int(in.Rd), rs1&in.ImmU)
 	case isa.OpOri:
-		c.SetReg(int(in.Rd), rs1|uint32(in.Imm))
+		c.SetReg(int(in.Rd), rs1|in.ImmU)
 	case isa.OpXori:
-		c.SetReg(int(in.Rd), rs1^uint32(in.Imm))
+		c.SetReg(int(in.Rd), rs1^in.ImmU)
 	case isa.OpSlli:
-		c.SetReg(int(in.Rd), rs1<<(uint32(in.Imm)&31))
+		c.SetReg(int(in.Rd), rs1<<(in.ImmU&31))
 	case isa.OpSrli:
-		c.SetReg(int(in.Rd), rs1>>(uint32(in.Imm)&31))
+		c.SetReg(int(in.Rd), rs1>>(in.ImmU&31))
 	case isa.OpSrai:
-		c.SetReg(int(in.Rd), uint32(int32(rs1)>>(uint32(in.Imm)&31)))
+		c.SetReg(int(in.Rd), uint32(int32(rs1)>>(in.ImmU&31)))
 
 	case isa.OpAdd:
 		c.SetReg(int(in.Rd), rs1+rs2)
@@ -397,7 +401,7 @@ func (c *Core) Step() error {
 		}
 
 	case isa.OpLw, isa.OpLb, isa.OpLbu:
-		va := rs1 + uint32(in.Imm)
+		va := rs1 + in.ImmU
 		c.stats.Loads++
 		pa, err := c.dataAccess(va, false)
 		if err != nil {
@@ -413,7 +417,7 @@ func (c *Core) Step() error {
 		}
 
 	case isa.OpSw, isa.OpSb:
-		va := rs1 + uint32(in.Imm)
+		va := rs1 + in.ImmU
 		c.stats.Stores++
 		pa, err := c.dataAccess(va, true)
 		if err != nil {
@@ -447,11 +451,11 @@ func (c *Core) Step() error {
 			c.stats.Cycles += c.mispredict // pipeline refill
 		}
 		if taken {
-			nextPC = c.pc + uint32(in.Imm)
+			nextPC = c.pc + in.ImmU
 		}
 
 	case isa.OpJal:
-		target := c.pc + uint32(in.Imm)
+		target := c.pc + in.ImmU
 		if in.Rd != isa.R0 {
 			c.stats.Calls++
 			c.SetReg(int(in.Rd), c.pc+isa.InstBytes)
@@ -463,8 +467,8 @@ func (c *Core) Step() error {
 		nextPC = target
 
 	case isa.OpJalr:
-		target := (rs1 + uint32(in.Imm)) &^ 1
-		kind := isa.Classify(in)
+		target := (rs1 + in.ImmU) &^ 1
+		kind := in.Ctl
 		switch kind {
 		case isa.CtlCall:
 			c.stats.Calls++

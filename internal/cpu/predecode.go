@@ -1,0 +1,90 @@
+package cpu
+
+import (
+	"indra/internal/isa"
+	"indra/internal/mem"
+)
+
+// The predecode cache decodes each static instruction once into a
+// flattened isa.Predecoded and serves later fetches of the same
+// physical address from the cached form. It is a simulator-speed
+// structure, not a modelled one: it carries no timing (the IL1/TLB
+// models still run on every fetch) and must therefore be perfectly
+// coherent with memory. Coherence comes from the physical page write
+// version: every store, DMA transfer, loader write and checkpoint-line
+// restore bumps the containing page's version in mem.Physical, and a
+// version mismatch flushes the page's decoded entries before use. That
+// keeps self-modifying code — including injected attack payloads and
+// recovery rollbacks that rewrite code pages — architecturally exact.
+
+// pageWords is how many 4-byte instruction slots one page holds.
+const pageWords = mem.PageBytes / isa.InstBytes
+
+// decPage holds the decoded entries of one physical code page.
+type decPage struct {
+	version uint32 // mem page version the entries were decoded under
+	filled  [pageWords]bool
+	insts   [pageWords]isa.Predecoded
+}
+
+// predecoder is one core's predecode cache: a per-page map with a
+// one-entry fast path for the page executed last (code loops stay
+// within a page for long stretches).
+type predecoder struct {
+	pages    map[uint32]*decPage
+	last     *decPage
+	lastBase uint32
+	scratch  isa.Predecoded // for uncacheable (unaligned) fetches
+}
+
+func newPredecoder() predecoder {
+	return predecoder{pages: make(map[uint32]*decPage)}
+}
+
+// entry returns the decoded instruction at physical address pa,
+// decoding and caching it on first visit. Unaligned fetch addresses
+// (reachable only through attack-crafted jump targets) bypass the
+// cache: they cannot share the word-indexed slots.
+func (d *predecoder) entry(phys *mem.Physical, pa uint32) *isa.Predecoded {
+	if pa&3 != 0 {
+		d.scratch = isa.Predecode(phys.Read32(pa))
+		return &d.scratch
+	}
+	base := pa &^ uint32(mem.PageBytes-1)
+	pg := d.last
+	if pg == nil || d.lastBase != base {
+		pg = d.pages[base]
+		if pg == nil {
+			pg = &decPage{}
+			d.pages[base] = pg
+		}
+		d.last, d.lastBase = pg, base
+	}
+	if v := phys.PageVersion(pa); pg.version != v {
+		// The page was written since these entries were decoded
+		// (self-modifying store, frame reuse, rollback): flush.
+		pg.filled = [pageWords]bool{}
+		pg.version = v
+	}
+	idx := (pa & uint32(mem.PageBytes-1)) >> 2
+	if !pg.filled[idx] {
+		pg.insts[idx] = isa.Predecode(phys.Read32(pa))
+		pg.filled[idx] = true
+	}
+	return &pg.insts[idx]
+}
+
+// Predecoded reports whether the instruction at physical address pa is
+// currently held decoded and valid against the page's write version
+// (introspection for tests).
+func (c *Core) Predecoded(pa uint32) bool {
+	if pa&3 != 0 {
+		return false
+	}
+	base := pa &^ uint32(mem.PageBytes-1)
+	pg := c.dec.pages[base]
+	if pg == nil || pg.version != c.phys.PageVersion(pa) {
+		return false
+	}
+	return pg.filled[(pa&uint32(mem.PageBytes-1))>>2]
+}

@@ -1,0 +1,93 @@
+package cpu
+
+import (
+	"testing"
+
+	"indra/internal/oslite"
+)
+
+// TestSelfModifyingCodeFlushesPredecode proves the predecode cache is
+// coherent with stores to executed code pages: a program patches an
+// instruction it has already executed (so the old decoding is cached)
+// and the re-execution must see the new semantics. Without the
+// page-version invalidation this runs the stale decoded instruction —
+// exactly the bug that would let an injected payload diverge from the
+// modelled machine.
+func TestSelfModifyingCodeFlushesPredecode(t *testing.T) {
+	h := newHarness(t, `
+_start:
+  call f
+  la r2, patch
+  la r3, donor
+  lw r4, 0(r3)
+  sw r4, 0(r2)      # overwrite the patch site with the donor word
+  call f
+  halt
+.func f
+f:
+patch:
+  addi r1, r1, 1
+  ret
+donor:
+  addi r1, r1, 100  # never executed in place; copied over patch
+`)
+	// Self-modifying program: remap its text pages writable (a JIT-like
+	// posture; the default harness maps text r-x).
+	for va := h.prog.TextBase &^ uint32(oslite.PageBytes-1); va < h.prog.TextEnd(); va += oslite.PageBytes {
+		h.as.Map(va, va, oslite.PermR|oslite.PermW|oslite.PermX)
+	}
+	patch := h.prog.Symbols["patch"] // identity-mapped: va == pa
+
+	// Phase 1: run until the first call has executed the patch site.
+	for i := 0; h.core.Reg(1) != 1; i++ {
+		if i > 100 {
+			t.Fatal("first call never executed the patch site")
+		}
+		if err := h.core.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.core.Predecoded(patch) {
+		t.Fatal("patch site not held in the predecode cache after execution")
+	}
+
+	// Phase 2: run until the store lands; the page write version bump
+	// must drop the cached decoding.
+	for i := 0; h.core.Predecoded(patch); i++ {
+		if i > 100 {
+			t.Fatal("store to the code page never flushed the predecode entry")
+		}
+		if err := h.core.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 3: the re-executed call must run the patched instruction.
+	h.run(t, 100)
+	if got := h.core.Reg(1); got != 101 {
+		t.Fatalf("r1 = %d after patching, want 101 (stale predecode executes the old instruction)", got)
+	}
+	if !h.core.Predecoded(patch) {
+		t.Fatal("patched site not re-cached after re-execution")
+	}
+}
+
+// TestPredecodeUnalignedFetchBypass pins the cache-bypass path for
+// unaligned fetch addresses (reachable through attack-crafted jump
+// targets): they are decoded through scratch and never cached.
+func TestPredecodeUnalignedFetchBypass(t *testing.T) {
+	h := newHarness(t, `
+_start:
+  halt
+`)
+	if h.core.Predecoded(h.prog.Entry + 2) {
+		t.Fatal("unaligned address reported as predecoded")
+	}
+	h.run(t, 10)
+	if !h.core.Predecoded(h.prog.Entry) {
+		t.Fatal("aligned executed address not predecoded")
+	}
+	if h.core.Predecoded(h.prog.Entry + 2) {
+		t.Fatal("unaligned address cached")
+	}
+}

@@ -27,6 +27,12 @@ type Stats struct {
 // Queue is a bounded ring of trace records. It is a purely functional
 // hardware model: time is handled by the chip co-simulation, which asks
 // the queue only about occupancy.
+//
+// The queue sits on the simulator's per-instruction hot path (every
+// traced event is one Push and one Pop), so its steady-state operations
+// allocate nothing and avoid integer division: records are copied in
+// and out of the fixed ring by value, and the wrap is a conditional
+// subtract rather than a modulo.
 type Queue struct {
 	buf   []trace.Record
 	head  int
@@ -68,7 +74,11 @@ func (q *Queue) Push(r trace.Record) bool {
 		q.stats.FullEvents++
 		return false
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = r
+	tail := q.head + q.count
+	if tail >= len(q.buf) {
+		tail -= len(q.buf)
+	}
+	q.buf[tail] = r
 	q.count++
 	q.stats.Pushes++
 	if q.count > q.stats.MaxDepth {
@@ -83,7 +93,10 @@ func (q *Queue) Pop() (r trace.Record, ok bool) {
 		return trace.Record{}, false
 	}
 	r = q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.count--
 	q.stats.Pops++
 	return r, true
@@ -97,7 +110,9 @@ func (q *Queue) Peek() (r trace.Record, ok bool) {
 	return q.buf[q.head], true
 }
 
-// Drain removes and returns all queued records in order.
+// Drain removes and returns all queued records in order. It allocates
+// the returned slice; recovery paths that only need to discard the
+// backlog use DiscardAll instead.
 func (q *Queue) Drain() []trace.Record {
 	out := make([]trace.Record, 0, q.count)
 	for {
@@ -107,6 +122,17 @@ func (q *Queue) Drain() []trace.Record {
 		}
 		out = append(out, r)
 	}
+}
+
+// DiscardAll pops and throws away every queued record, returning how
+// many were discarded. It is the allocation-free equivalent of
+// dropping Drain's result on the floor and keeps the same accounting:
+// each discarded record still counts as a pop.
+func (q *Queue) DiscardAll() int {
+	n := q.count
+	q.stats.Pops += uint64(n)
+	q.head, q.count = 0, 0
+	return n
 }
 
 // Shared is a Queue safe for concurrent producers and consumers. The
@@ -166,4 +192,12 @@ func (s *Shared) Drain() []trace.Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.q.Drain()
+}
+
+// DiscardAll pops and discards every queued record without allocating,
+// returning the number discarded.
+func (s *Shared) DiscardAll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.DiscardAll()
 }

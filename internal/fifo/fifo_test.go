@@ -72,6 +72,33 @@ func TestPeekAndDrain(t *testing.T) {
 	}
 }
 
+// DiscardAll must empty the queue without allocating and account the
+// discarded records as pops — recovery paths rely on that equivalence
+// so the merged counter baselines stay identical whichever way a
+// backlog is emptied.
+func TestDiscardAllCountsPops(t *testing.T) {
+	q := New(8)
+	for i := uint32(0); i < 5; i++ {
+		q.Push(rec(i))
+	}
+	q.Pop()
+	if n := q.DiscardAll(); n != 4 {
+		t.Fatalf("discarded %d, want 4", n)
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after DiscardAll")
+	}
+	s := q.Stats()
+	if s.Pops != 5 {
+		t.Fatalf("pops = %d, want 5 (1 pop + 4 discards)", s.Pops)
+	}
+	// Queue remains usable with correct FIFO order after the reset.
+	q.Push(rec(77))
+	if r, ok := q.Pop(); !ok || r.PC != 77 {
+		t.Fatalf("queue unusable after DiscardAll: %v %v", r, ok)
+	}
+}
+
 func TestStats(t *testing.T) {
 	q := New(2)
 	q.Push(rec(1))

@@ -209,6 +209,41 @@ func Decode(w uint32) Inst {
 	return in
 }
 
+// Predecoded is the flattened, dispatch-ready form of an instruction:
+// Decode's field unpacking plus every per-instruction derivation the
+// execution loop would otherwise redo on each dynamic visit — opcode
+// validity, the control-transfer class, and the zero-extended immediate
+// the ALU consumes. Cores cache one Predecoded per static instruction
+// and revalidate it against the code page's write version, so the
+// decode work is paid once per (page content, address) instead of once
+// per executed instruction.
+type Predecoded struct {
+	Op    Op
+	Rd    uint8
+	Rs1   uint8
+	Rs2   uint8
+	Valid bool
+	Ctl   ControlKind // Classify of the instruction, precomputed
+	Imm   int32       // sign-extended immediate (Decode semantics)
+	ImmU  uint32      // uint32(Imm): the ALU/address-generation form
+}
+
+// Predecode decodes w and flattens it for cached dispatch. The result
+// is equivalent to Decode plus Op.Valid plus Classify on every field.
+func Predecode(w uint32) Predecoded {
+	in := Decode(w)
+	return Predecoded{
+		Op:    in.Op,
+		Rd:    in.Rd,
+		Rs1:   in.Rs1,
+		Rs2:   in.Rs2,
+		Valid: in.Op.Valid(),
+		Ctl:   Classify(in),
+		Imm:   in.Imm,
+		ImmU:  uint32(in.Imm),
+	}
+}
+
 // regName returns the conventional assembly name for a register index.
 func regName(r uint8) string {
 	switch r {

@@ -6,16 +6,49 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync"
 )
 
 // PageBytes is the physical page (frame) size.
 const PageBytes = 4096
 
+// pageShift is log2(PageBytes), for the per-page write version index.
+const pageShift = 12
+
 // Physical is byte-addressable physical memory. It is a pure data
 // store; timing lives in the dram package and protection in watchdog.
+//
+// Every write bumps the containing page's version counter. The version
+// stream is the coherence signal for derived caches over memory
+// contents — most importantly the cores' instruction predecode cache,
+// which must observe self-modifying stores, DMA, loader writes and
+// checkpoint restores alike (they all funnel through these methods).
 type Physical struct {
 	data []byte
+	vers []uint32 // per-page write version; 0 = never written
 }
+
+// physPool recycles the large backing buffers across Physical
+// lifetimes. Experiment suites build hundreds of short-lived chips,
+// each with a default 64 MB memory; without reuse, every chip pays a
+// full zeroing pass over freshly grown heap. Reused buffers are
+// re-zeroed only on their written pages (tracked by the version array),
+// which is typically a few MB instead of the full size. Buffers return
+// to the pool via a GC cleanup once the owning Physical is unreachable.
+var physPool = struct {
+	sync.Mutex
+	bufs map[uint32][]physBuf
+}{bufs: make(map[uint32][]physBuf)}
+
+type physBuf struct {
+	data []byte
+	vers []uint32
+}
+
+// physPoolMax bounds retained buffers per size (workers run that many
+// chips concurrently at most in practice; excess is left to the GC).
+const physPoolMax = 16
 
 // NewPhysical allocates size bytes of zeroed physical memory. Size must
 // be a positive multiple of PageBytes.
@@ -23,7 +56,39 @@ func NewPhysical(size uint32) *Physical {
 	if size == 0 || size%PageBytes != 0 {
 		panic(fmt.Sprintf("mem: size %d must be a positive multiple of %d", size, PageBytes))
 	}
-	return &Physical{data: make([]byte, size)}
+	p := &Physical{}
+	physPool.Lock()
+	if bufs := physPool.bufs[size]; len(bufs) > 0 {
+		b := bufs[len(bufs)-1]
+		physPool.bufs[size] = bufs[:len(bufs)-1]
+		physPool.Unlock()
+		// Restore the all-zero invariant on exactly the pages the
+		// previous owner dirtied.
+		for i, v := range b.vers {
+			if v != 0 {
+				base := uint32(i) << pageShift
+				clear(b.data[base : base+PageBytes])
+				b.vers[i] = 0
+			}
+		}
+		p.data, p.vers = b.data, b.vers
+	} else {
+		physPool.Unlock()
+		p.data = make([]byte, size)
+		p.vers = make([]uint32, size/PageBytes)
+	}
+	runtime.AddCleanup(p, recyclePhys, physBuf{data: p.data, vers: p.vers})
+	return p
+}
+
+// recyclePhys returns an unreachable Physical's buffers to the pool.
+func recyclePhys(b physBuf) {
+	size := uint32(len(b.data))
+	physPool.Lock()
+	if len(physPool.bufs[size]) < physPoolMax {
+		physPool.bufs[size] = append(physPool.bufs[size], b)
+	}
+	physPool.Unlock()
 }
 
 // Size returns the memory size in bytes.
@@ -40,13 +105,17 @@ func (p *Physical) Read32(addr uint32) uint32 {
 // Write32 stores a little-endian 32-bit word.
 func (p *Physical) Write32(addr uint32, v uint32) {
 	binary.LittleEndian.PutUint32(p.data[addr:addr+4], v)
+	p.vers[addr>>pageShift]++
 }
 
 // Read8 loads a byte.
 func (p *Physical) Read8(addr uint32) uint8 { return p.data[addr] }
 
 // Write8 stores a byte.
-func (p *Physical) Write8(addr uint32, v uint8) { p.data[addr] = v }
+func (p *Physical) Write8(addr uint32, v uint8) {
+	p.data[addr] = v
+	p.vers[addr>>pageShift]++
+}
 
 // ReadBytes copies len(dst) bytes starting at addr into dst.
 func (p *Physical) ReadBytes(addr uint32, dst []byte) {
@@ -55,13 +124,27 @@ func (p *Physical) ReadBytes(addr uint32, dst []byte) {
 
 // WriteBytes copies src into memory starting at addr.
 func (p *Physical) WriteBytes(addr uint32, src []byte) {
+	if len(src) == 0 {
+		return
+	}
 	copy(p.data[addr:addr+uint32(len(src))], src)
+	for pg, end := addr>>pageShift, (addr+uint32(len(src))-1)>>pageShift; pg <= end; pg++ {
+		p.vers[pg]++
+	}
 }
 
 // ZeroPage clears the frame containing addr.
 func (p *Physical) ZeroPage(addr uint32) {
 	base := addr &^ (PageBytes - 1)
 	clear(p.data[base : base+PageBytes])
+	p.vers[addr>>pageShift]++
+}
+
+// PageVersion returns the write version of the page containing addr: a
+// counter that changes on every store, bulk write or zeroing of the
+// page. Derived caches (instruction predecode) revalidate against it.
+func (p *Physical) PageVersion(addr uint32) uint32 {
+	return p.vers[addr>>pageShift]
 }
 
 // FrameAllocator hands out physical page frames from a fixed region.

@@ -172,14 +172,37 @@ func FullPolicy() Policy {
 	return Policy{CallReturn: true, CodeOrigin: true, ControlTransfer: true}
 }
 
+// shadowStack is one (core, pid)'s shadow call stack. It lives behind a
+// pointer in the shadows map so the per-record push/pop mutates frames
+// in place instead of re-storing a slice header through the map.
+type shadowStack struct {
+	frames []Frame
+}
+
 // Monitor is the resurrector's inspection engine. Not safe for
 // concurrent use; the chip serialises record consumption.
+//
+// Verify runs once per trace record — it is the resurrector half of the
+// simulator's hot path — so the per-record state is kept flat: record
+// counts live in a dense array indexed by kind (sized for the full
+// uint8 range, since fault injection can corrupt a record's kind bits),
+// and one-entry caches short-circuit the app and shadow-stack map
+// lookups for the overwhelmingly common case of consecutive records
+// from the same process.
 type Monitor struct {
 	apps    map[int]*AppInfo
-	shadows map[shadowKey][]Frame
+	shadows map[shadowKey]*shadowStack
 	setjmps map[int][]jmpTarget
 	costs   CostConfig
-	stats   Stats
+
+	records    [256]uint64 // indexed by trace.Kind
+	violations uint64
+	cycles     uint64
+
+	lastApp   *AppInfo // one-entry cache over apps (nil = cold)
+	lastKey   shadowKey
+	lastStack *shadowStack // one-entry cache over shadows (nil = cold)
+
 	// Policy gates the inspections; shadow state is maintained even for
 	// disabled checks so policies can be tightened at runtime.
 	Policy Policy
@@ -193,10 +216,9 @@ type Monitor struct {
 func New(costs CostConfig) *Monitor {
 	return &Monitor{
 		apps:    make(map[int]*AppInfo),
-		shadows: make(map[shadowKey][]Frame),
+		shadows: make(map[shadowKey]*shadowStack),
 		setjmps: make(map[int][]jmpTarget),
 		costs:   costs,
-		stats:   Stats{Records: make(map[trace.Kind]uint64)},
 		Policy:  FullPolicy(),
 		Strict:  true,
 	}
@@ -204,7 +226,25 @@ func New(costs CostConfig) *Monitor {
 
 // RegisterApp records a service application's code identity. Called
 // through the chip when the OS loader starts the program.
-func (m *Monitor) RegisterApp(info *AppInfo) { m.apps[info.PID] = info }
+func (m *Monitor) RegisterApp(info *AppInfo) {
+	m.apps[info.PID] = info
+	m.lastApp = nil // a PID may be re-registered after reboot recovery
+}
+
+// shadow returns the (core, pid) shadow stack, creating it on first
+// use, through a one-entry cache.
+func (m *Monitor) shadow(key shadowKey) *shadowStack {
+	if m.lastStack != nil && m.lastKey == key {
+		return m.lastStack
+	}
+	s := m.shadows[key]
+	if s == nil {
+		s = &shadowStack{}
+		m.shadows[key] = s
+	}
+	m.lastKey, m.lastStack = key, s
+	return s
+}
 
 // App returns the registered info for a PID.
 func (m *Monitor) App(pid int) (*AppInfo, bool) {
@@ -224,23 +264,45 @@ func (m *Monitor) RegisterDynCode(pid int, r Region) {
 	}
 }
 
-// Stats returns a snapshot (the Records map is shared; treat as read-only).
-func (m *Monitor) Stats() Stats { return m.stats }
+// Stats returns a snapshot. The Records map is freshly built per call
+// (internally the counts are a dense array); only kinds with non-zero
+// counts appear, matching the old map-backed behaviour.
+func (m *Monitor) Stats() Stats {
+	rec := make(map[trace.Kind]uint64, trace.NumKinds)
+	for k, v := range m.records {
+		if v != 0 {
+			rec[trace.Kind(k)] = v
+		}
+	}
+	return Stats{Records: rec, Violations: m.violations, Cycles: m.cycles}
+}
+
+// RecordCount returns the number of records of one kind verified so far
+// (allocation-free; Stats builds the full map).
+func (m *Monitor) RecordCount(k trace.Kind) uint64 { return m.records[k] }
 
 // ShadowDepth returns the shadow stack depth for a (core, pid).
 func (m *Monitor) ShadowDepth(core, pid int) int {
-	return len(m.shadows[shadowKey{core, pid}])
+	if s := m.shadows[shadowKey{core, pid}]; s != nil {
+		return len(s.frames)
+	}
+	return 0
 }
 
 // SnapshotShadow copies the shadow stack for checkpointing: recovery
 // must rewind the monitor's call model along with the application.
 func (m *Monitor) SnapshotShadow(core, pid int) []Frame {
-	return append([]Frame(nil), m.shadows[shadowKey{core, pid}]...)
+	if s := m.shadows[shadowKey{core, pid}]; s != nil {
+		return append([]Frame(nil), s.frames...)
+	}
+	return nil
 }
 
-// RestoreShadow reinstalls a snapshot taken by SnapshotShadow.
+// RestoreShadow reinstalls a snapshot taken by SnapshotShadow. The
+// existing backing array is reused when large enough.
 func (m *Monitor) RestoreShadow(core, pid int, frames []Frame) {
-	m.shadows[shadowKey{core, pid}] = append([]Frame(nil), frames...)
+	s := m.shadow(shadowKey{core, pid})
+	s.frames = append(s.frames[:0], frames...)
 }
 
 // Verify inspects one record, returning the modelled verification cost
@@ -248,39 +310,45 @@ func (m *Monitor) RestoreShadow(core, pid int, frames []Frame) {
 // and pops) happen even for violating records, mirroring software that
 // reports and continues until the chip reacts.
 func (m *Monitor) Verify(rec trace.Record) (uint64, *Violation) {
-	m.stats.Records[rec.Kind]++
+	m.records[rec.Kind]++
 	cost := m.costs.Cost(rec.Kind)
-	m.stats.Cycles += cost
+	m.cycles += cost
 
-	app, known := m.apps[rec.PID]
-	if !known {
-		if m.Strict {
-			m.stats.Violations++
-			return cost, &Violation{Kind: UnknownApp, Rec: rec}
+	app := m.lastApp
+	if app == nil || app.PID != rec.PID {
+		var known bool
+		app, known = m.apps[rec.PID]
+		if !known {
+			if m.Strict {
+				m.violations++
+				return cost, &Violation{Kind: UnknownApp, Rec: rec}
+			}
+			return cost, nil
 		}
-		return cost, nil
+		m.lastApp = app
 	}
 
 	key := shadowKey{rec.Core, rec.PID}
 	switch rec.Kind {
 	case trace.KindCall:
-		m.shadows[key] = append(m.shadows[key], Frame{Ret: rec.Ret, SP: rec.SP})
+		s := m.shadow(key)
+		s.frames = append(s.frames, Frame{Ret: rec.Ret, SP: rec.SP})
 		if m.Policy.ControlTransfer && rec.Indirect && !m.validEntry(app, rec.Target) {
-			m.stats.Violations++
+			m.violations++
 			return cost, &Violation{Kind: BadCallTarget, Rec: rec}
 		}
 
 	case trace.KindReturn:
-		stack := m.shadows[key]
-		if len(stack) == 0 {
+		s := m.shadow(key)
+		if len(s.frames) == 0 {
 			if !m.Policy.CallReturn {
 				return cost, nil
 			}
-			m.stats.Violations++
+			m.violations++
 			return cost, &Violation{Kind: ShadowUnderflow, Rec: rec}
 		}
-		top := stack[len(stack)-1]
-		m.shadows[key] = stack[:len(stack)-1]
+		top := s.frames[len(s.frames)-1]
+		s.frames = s.frames[:len(s.frames)-1]
 		if rec.Target != top.Ret {
 			if m.isLongjmp(rec) {
 				m.unwindTo(key, rec.SP)
@@ -289,20 +357,20 @@ func (m *Monitor) Verify(rec trace.Record) (uint64, *Violation) {
 			if !m.Policy.CallReturn {
 				return cost, nil
 			}
-			m.stats.Violations++
+			m.violations++
 			return cost, &Violation{Kind: ReturnMismatch, Rec: rec, Expected: top.Ret}
 		}
 
 	case trace.KindCodeOrigin:
 		page := rec.Target
 		if m.Policy.CodeOrigin && !app.CodePages[page] && !inDynCode(app, page) {
-			m.stats.Violations++
+			m.violations++
 			return cost, &Violation{Kind: CodeOriginViolation, Rec: rec}
 		}
 
 	case trace.KindControl:
 		if m.Policy.ControlTransfer && !m.validEntry(app, rec.Target) {
-			m.stats.Violations++
+			m.violations++
 			return cost, &Violation{Kind: BadControlTarget, Rec: rec}
 		}
 
@@ -314,7 +382,7 @@ func (m *Monitor) Verify(rec trace.Record) (uint64, *Violation) {
 			m.unwindTo(key, rec.SP)
 			return cost, nil
 		}
-		m.stats.Violations++
+		m.violations++
 		return cost, &Violation{Kind: BadControlTarget, Rec: rec}
 	}
 	return cost, nil
@@ -353,9 +421,10 @@ func (m *Monitor) isLongjmp(rec trace.Record) bool {
 // setjmp function itself (same SP) and everything deeper. Ancestor
 // frames, whose call-time SP is higher, survive.
 func (m *Monitor) unwindTo(key shadowKey, sp uint32) {
-	stack := m.shadows[key]
+	s := m.shadow(key)
+	stack := s.frames
 	for len(stack) > 0 && stack[len(stack)-1].SP <= sp {
 		stack = stack[:len(stack)-1]
 	}
-	m.shadows[key] = stack
+	s.frames = stack
 }

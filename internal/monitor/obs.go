@@ -12,8 +12,8 @@ import (
 func (m *Monitor) Instrument(reg *obs.Registry, prefix string) {
 	for k := trace.KindCall; k <= trace.KindLongjmp; k++ {
 		kind := k
-		reg.Probe(prefix+".records."+kind.String(), func() uint64 { return m.stats.Records[kind] })
+		reg.Probe(prefix+".records."+kind.String(), func() uint64 { return m.records[kind] })
 	}
-	reg.Probe(prefix+".violations", func() uint64 { return m.stats.Violations })
-	reg.Probe(prefix+".cycles", func() uint64 { return m.stats.Cycles })
+	reg.Probe(prefix+".violations", func() uint64 { return m.violations })
+	reg.Probe(prefix+".cycles", func() uint64 { return m.cycles })
 }

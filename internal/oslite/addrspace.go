@@ -74,9 +74,19 @@ type pte struct {
 // AddressSpace is a per-process page table over physical memory. It
 // implements checkpoint.Memory so the delta engine can copy pre-images
 // and lazily restore lines in terms of virtual addresses.
+//
+// Translate carries a one-entry inline cache over the page-table map:
+// the simulated core translates on every fetch and data access, and
+// consecutive accesses overwhelmingly hit the same page. The cache is
+// purely functional (the TLB model owns translation *timing*) and is
+// invalidated on any Map/Unmap.
 type AddressSpace struct {
 	phys  *mem.Physical
 	pages map[uint32]pte // key: virtual page number
+
+	lastVPN uint32
+	lastPTE pte
+	lastOK  bool
 }
 
 // NewAddressSpace creates an empty address space over phys.
@@ -93,6 +103,7 @@ func (as *AddressSpace) Map(va uint32, frame uint32, perm Perm) {
 		panic(fmt.Sprintf("oslite: unaligned frame %#x", frame))
 	}
 	as.pages[vpn(va)] = pte{frame: frame, perm: perm}
+	as.lastOK = false
 }
 
 // Unmap removes the translation for the page containing va and returns
@@ -102,6 +113,7 @@ func (as *AddressSpace) Unmap(va uint32) (frame uint32, ok bool) {
 	if ok {
 		delete(as.pages, vpn(va))
 	}
+	as.lastOK = false
 	return p.frame, ok
 }
 
@@ -118,10 +130,15 @@ func (as *AddressSpace) PermAt(va uint32) Perm { return as.pages[vpn(va)].perm }
 // Permission enforcement is the caller's policy decision (stores check
 // PermW; fetches deliberately skip PermX — see the Perm doc).
 func (as *AddressSpace) Translate(va uint32) (pa uint32, perm Perm, err error) {
-	p, ok := as.pages[vpn(va)]
+	n := vpn(va)
+	if as.lastOK && n == as.lastVPN {
+		return as.lastPTE.frame + va%PageBytes, as.lastPTE.perm, nil
+	}
+	p, ok := as.pages[n]
 	if !ok {
 		return 0, 0, &PageFault{VA: va}
 	}
+	as.lastVPN, as.lastPTE, as.lastOK = n, p, true
 	return p.frame + va%PageBytes, p.perm, nil
 }
 

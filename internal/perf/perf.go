@@ -1,0 +1,244 @@
+// Package perf is the simulator's microbenchmark harness and
+// benchmark-regression gate. It measures named benchmark cells —
+// wall time, heap allocations and simulated-cycle throughput per
+// operation — without the testing package, so the same measurements run
+// from a plain binary (indrabench -perfcheck) and from CI.
+//
+// The on-disk document (File) pairs the host-performance report with
+// the simulator's merged counter snapshot: BENCH_baseline.json commits
+// both, and a PR's measured report (BENCH_pr.json) is compared against
+// the baseline's perf section with configurable regression thresholds.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Bench is one registered benchmark cell. Fn runs one operation and
+// returns the number of simulated cycles it advanced (0 when the cell
+// does not simulate, e.g. a pure data-structure microbenchmark).
+type Bench struct {
+	Name  string
+	Iters int // measured iterations (one extra warmup run is not counted)
+	Fn    func() (simCycles uint64, err error)
+	// NsTol overrides the gate's ns/op tolerance for this cell (0 =
+	// use the gate default). Set it on cells with inherently noisy
+	// wall time, e.g. allocation-heavy runs dominated by GC pacing.
+	NsTol float64
+}
+
+// Result is the measurement of one cell.
+type Result struct {
+	NsPerOp             float64 `json:"ns_per_op"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	BytesPerOp          float64 `json:"bytes_per_op"`
+	SimCyclesPerHostSec float64 `json:"sim_cycles_per_host_sec,omitempty"`
+	Iters               int     `json:"iters"`
+	// NsTol is the cell's ns/op tolerance override, carried in the
+	// baseline so the gate applies it (0 = gate default).
+	NsTol float64 `json:"ns_tolerance,omitempty"`
+}
+
+// Report maps cell name to measurement.
+type Report map[string]Result
+
+// File is the on-disk benchmark document. Sim is the simulator's
+// merged observability snapshot (owned by the obs layer; kept opaque
+// here so perf stays dependency-free), Perf the host measurements.
+type File struct {
+	Sim  json.RawMessage `json:"sim,omitempty"`
+	Perf Report          `json:"perf,omitempty"`
+}
+
+// ReadFile loads a benchmark document.
+func ReadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// WriteFile stores a benchmark document as indented JSON.
+func (f *File) WriteFile(path string) error {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// Measure runs one cell: a warmup operation, then Iters measured
+// operations bracketed by memory-stat reads. NsPerOp is the *minimum*
+// single-operation time — the standard robust wall-clock estimator:
+// noise (GC pauses, scheduler preemption, neighbours on shared CI
+// runners) only ever adds time, so the minimum is the best estimate of
+// the code's true cost. Allocation counts are means; they are
+// deterministic up to runtime background noise.
+func Measure(b Bench) (Result, error) {
+	iters := b.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	if _, err := b.Fn(); err != nil { // warmup: page in code and caches
+		return Result{}, fmt.Errorf("perf: %s: %w", b.Name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var cycles uint64
+	var total, best time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		c, err := b.Fn()
+		d := time.Since(start)
+		if err != nil {
+			return Result{}, fmt.Errorf("perf: %s: %w", b.Name, err)
+		}
+		cycles += c
+		total += d
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	r := Result{
+		NsPerOp:     float64(best.Nanoseconds()),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		Iters:       iters,
+		NsTol:       b.NsTol,
+	}
+	if cycles > 0 && total > 0 {
+		r.SimCyclesPerHostSec = float64(cycles) / total.Seconds()
+	}
+	return r, nil
+}
+
+// RunAll measures every cell in order. progress (may be nil) is called
+// before each cell with its name.
+func RunAll(benches []Bench, progress func(name string)) (Report, error) {
+	rep := make(Report, len(benches))
+	for _, b := range benches {
+		if progress != nil {
+			progress(b.Name)
+		}
+		r, err := Measure(b)
+		if err != nil {
+			return nil, err
+		}
+		rep[b.Name] = r
+	}
+	return rep, nil
+}
+
+// Thresholds sets the regression tolerances, as fractions of the
+// baseline value (0.10 = 10% slower fails).
+type Thresholds struct {
+	NsPct     float64 // ns/op tolerance
+	AllocsPct float64 // allocs/op tolerance (0 = any increase fails)
+}
+
+// allocsSlack is the measurement-noise floor for allocation counts:
+// runtime background allocations (finalizer goroutines, timer wheels,
+// map growth timing) land inside the measurement window without
+// belonging to the measured code, in rough proportion to how long the
+// cell runs. A real steady-state allocation regression — one new
+// allocation on a per-record or per-instruction path — exceeds the
+// floor by orders of magnitude.
+func allocsSlack(base float64) float64 {
+	const abs = 16
+	if rel := base * 0.001; rel > abs {
+		return rel
+	}
+	return abs
+}
+
+// DefaultThresholds is the CI gate: 10% wall-time tolerance (host
+// noise), zero relative tolerance for new steady-state allocations
+// (those are deterministic and only change when code changes).
+func DefaultThresholds() Thresholds {
+	return Thresholds{NsPct: 0.10, AllocsPct: 0}
+}
+
+// Regression is one threshold violation.
+type Regression struct {
+	Cell   string
+	Metric string  // "ns/op" or "allocs/op", or "missing"
+	Base   float64 // baseline value
+	Got    float64 // measured value (0 for missing cells)
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: cell present in baseline but not measured", r.Cell)
+	}
+	pct := 0.0
+	if r.Base > 0 {
+		pct = (r.Got/r.Base - 1) * 100
+	}
+	return fmt.Sprintf("%s: %s regressed %.1f%% (baseline %.0f, got %.0f)",
+		r.Cell, r.Metric, pct, r.Base, r.Got)
+}
+
+// Compare checks every baseline cell against the measured report and
+// returns the threshold violations, sorted by cell name. Cells only in
+// the measured report are new and never regressions.
+func Compare(baseline, got Report, th Thresholds) []Regression {
+	var regs []Regression
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := got[name]
+		if !ok {
+			regs = append(regs, Regression{Cell: name, Metric: "missing", Base: base.NsPerOp})
+			continue
+		}
+		nsTol := th.NsPct
+		if base.NsTol > 0 {
+			nsTol = base.NsTol
+		}
+		if base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*(1+nsTol) {
+			regs = append(regs, Regression{Cell: name, Metric: "ns/op", Base: base.NsPerOp, Got: cur.NsPerOp})
+		}
+		if cur.AllocsPerOp > base.AllocsPerOp*(1+th.AllocsPct)+allocsSlack(base.AllocsPerOp) {
+			regs = append(regs, Regression{Cell: name, Metric: "allocs/op", Base: base.AllocsPerOp, Got: cur.AllocsPerOp})
+		}
+	}
+	return regs
+}
+
+// FormatTable renders a report as an aligned text table, cells sorted
+// by name, with baseline deltas when base is non-nil.
+func FormatTable(rep Report, base Report) string {
+	names := make([]string, 0, len(rep))
+	for name := range rep {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("%-28s %14s %12s %14s %16s\n", "cell", "ns/op", "allocs/op", "bytes/op", "sim-cyc/host-s")
+	for _, name := range names {
+		r := rep[name]
+		delta := ""
+		if b, ok := base[name]; ok && b.NsPerOp > 0 {
+			delta = fmt.Sprintf("  (%+.1f%% ns)", (r.NsPerOp/b.NsPerOp-1)*100)
+		}
+		out += fmt.Sprintf("%-28s %14.0f %12.1f %14.0f %16.3g%s\n",
+			name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.SimCyclesPerHostSec, delta)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMeasureCountsItersAndCycles(t *testing.T) {
+	calls := 0
+	r, err := Measure(Bench{Name: "x", Iters: 4, Fn: func() (uint64, error) {
+		calls++
+		return 1000, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 { // warmup + 4 measured
+		t.Fatalf("got %d calls, want 5 (warmup + 4)", calls)
+	}
+	if r.Iters != 4 || r.NsPerOp < 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	if r.SimCyclesPerHostSec <= 0 {
+		t.Fatalf("sim cycle throughput not derived: %+v", r)
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	base := Report{
+		"a": {NsPerOp: 1000, AllocsPerOp: 100},
+		"b": {NsPerOp: 1000, AllocsPerOp: 100},
+		"c": {NsPerOp: 1000, AllocsPerOp: 100},
+		"d": {NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	got := Report{
+		"a": {NsPerOp: 1099, AllocsPerOp: 100}, // within 10% ns
+		"b": {NsPerOp: 1200, AllocsPerOp: 100}, // ns regression
+		"c": {NsPerOp: 900, AllocsPerOp: 130},  // allocs regression (past the background slack)
+		"d": {NsPerOp: 900, AllocsPerOp: 101},  // +1 alloc: background noise, within slack
+	}
+	regs := Compare(base, got, DefaultThresholds())
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	if regs[0].Cell != "b" || regs[0].Metric != "ns/op" {
+		t.Fatalf("unexpected first regression: %+v", regs[0])
+	}
+	if regs[1].Cell != "c" || regs[1].Metric != "allocs/op" {
+		t.Fatalf("unexpected second regression: %+v", regs[1])
+	}
+}
+
+func TestCompareMissingCell(t *testing.T) {
+	base := Report{"gone": {NsPerOp: 5}}
+	regs := Compare(base, Report{}, DefaultThresholds())
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("missing cell not flagged: %v", regs)
+	}
+}
+
+func TestFileRoundTripPreservesSim(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	f := &File{
+		Sim:  []byte(`{"counters":{"x":1}}`),
+		Perf: Report{"cell": {NsPerOp: 42, AllocsPerOp: 1, Iters: 3}},
+	}
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(back.Sim), `"x"`) {
+		t.Fatalf("sim section lost: %s", back.Sim)
+	}
+	if back.Perf["cell"].NsPerOp != 42 || back.Perf["cell"].Iters != 3 {
+		t.Fatalf("perf section lost: %+v", back.Perf)
+	}
+}
+
+func TestFormatTableShowsDelta(t *testing.T) {
+	rep := Report{"cell": {NsPerOp: 1100}}
+	base := Report{"cell": {NsPerOp: 1000}}
+	out := FormatTable(rep, base)
+	if !strings.Contains(out, "+10.0% ns") {
+		t.Fatalf("delta missing from table:\n%s", out)
+	}
+}

@@ -32,6 +32,10 @@ const (
 	KindLongjmp
 )
 
+// NumKinds is the number of defined record kinds, for dense per-kind
+// counter arrays.
+const NumKinds = int(KindLongjmp) + 1
+
 func (k Kind) String() string {
 	switch k {
 	case KindCall:
