@@ -1,0 +1,148 @@
+package indra
+
+import (
+	"strings"
+	"testing"
+)
+
+// The canonical cell key is the serving layer's cache identity, so its
+// parse/format pair must round-trip exactly: any accepted input
+// reformats to a fixed point that parses back to the same key.
+
+func TestCellKeyRoundTrip(t *testing.T) {
+	cases := []CellKey{
+		{Experiment: "fig9", Requests: 3, Scale: 1, Seed: 1},
+		{Experiment: "table4", Requests: 1, Scale: 1, Seed: 42},
+		{Experiment: "ablation-bpred", Requests: 8, Scale: 2.5, Seed: 7},
+		{Experiment: "faultsweep", Requests: 64, Scale: 0.125, Seed: 4294967295},
+	}
+	for _, k := range cases {
+		s := k.String()
+		got, err := ParseCellKey(s)
+		if err != nil {
+			t.Fatalf("ParseCellKey(%q): %v", s, err)
+		}
+		if got != k {
+			t.Fatalf("round trip %q: got %+v, want %+v", s, got, k)
+		}
+		if got.String() != s {
+			t.Fatalf("format not a fixed point: %q -> %q", s, got.String())
+		}
+	}
+}
+
+func TestParseCellKeyDefaultsAndOrder(t *testing.T) {
+	k, err := ParseCellKey("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CellKey{Experiment: "fig9", Requests: 8, Scale: 1, Seed: 1}
+	if k != want {
+		t.Fatalf("bare id: %+v, want standard defaults %+v", k, want)
+	}
+	// Fields may arrive in any order and any subset.
+	k, err = ParseCellKey("fig9/seed=5/req=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Requests != 2 || k.Seed != 5 || k.Scale != 1 {
+		t.Fatalf("reordered fields: %+v", k)
+	}
+	if k.String() != "fig9/req=2/scale=1/seed=5" {
+		t.Fatalf("canonical form %q", k.String())
+	}
+}
+
+func TestParseCellKeyRejects(t *testing.T) {
+	bad := []string{
+		"",                      // empty id
+		"/req=1",                // empty id with fields
+		"Fig9",                  // uppercase id
+		"fig9/req",              // field without value
+		"fig9/req=0",            // non-positive requests
+		"fig9/req=-3",           // negative requests
+		"fig9/req=two",          // non-numeric
+		"fig9/scale=0",          // non-positive scale
+		"fig9/scale=-1",         // negative scale
+		"fig9/scale=nan",        // NaN never round-trips
+		"fig9/scale=inf",        // out of range
+		"fig9/scale=1e300",      // absurd scale
+		"fig9/seed=0",           // zero seed is reserved (fill() default)
+		"fig9/seed=4294967296",  // overflows uint32
+		"fig9/workers=4",        // scheduling knobs are not part of the key
+		"fig9/req=1/unknown=et", // unknown field
+	}
+	for _, s := range bad {
+		if k, err := ParseCellKey(s); err == nil {
+			t.Errorf("ParseCellKey(%q) accepted: %+v", s, k)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) == 0 || ids[0] != "table2" {
+		t.Fatalf("registry order starts %v", ids[:min(3, len(ids))])
+	}
+	// Every golden-tested experiment must be servable by id.
+	for _, tc := range goldenCases() {
+		if !KnownExperiment(tc.name) {
+			t.Errorf("golden experiment %q missing from the registry", tc.name)
+		}
+	}
+	if KnownExperiment("fig99") {
+		t.Error("KnownExperiment accepted an unregistered id")
+	}
+	if _, err := RunExperiment("fig99", ExpOptions{}); err == nil {
+		t.Error("RunExperiment accepted an unregistered id")
+	}
+}
+
+func TestRunCellMatchesDirectExperiment(t *testing.T) {
+	// table4 is option-independent and costs nothing: a direct
+	// registry sanity check without a simulation.
+	out, err := RunCell(CellKey{Experiment: "table4", Requests: 1, Scale: 1, Seed: 1}, ExpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Table4() {
+		t.Fatal("RunCell(table4) differs from Table4()")
+	}
+	if !strings.HasPrefix(out, "Table 4:") {
+		t.Fatalf("unexpected output %q", out[:40])
+	}
+}
+
+// FuzzParseCellKey holds the round-trip invariant over arbitrary
+// input: any string the parser accepts must reformat canonically and
+// reparse to the identical key (mirrors FuzzParsePlans/FuzzAssemble).
+func FuzzParseCellKey(f *testing.F) {
+	for _, id := range Experiments() {
+		f.Add(CellKey{Experiment: id, Requests: 3, Scale: 1, Seed: 1}.String())
+	}
+	f.Add("fig9")
+	f.Add("fig9/seed=5/req=2")
+	f.Add("fig9/req=2/scale=0.125/seed=4294967295")
+	f.Add("fig9/scale=2.5e-3")
+	f.Add("x/req=+07")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseCellKey(s)
+		if err != nil {
+			return // rejected input is fine; accepted input must round-trip
+		}
+		canon := k.String()
+		k2, err := ParseCellKey(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted key %q does not parse: %v", canon, s, err)
+		}
+		if k2 != k {
+			t.Fatalf("round trip drifted: %q -> %+v -> %q -> %+v", s, k, canon, k2)
+		}
+		if k2.String() != canon {
+			t.Fatalf("format is not a fixed point: %q -> %q", canon, k2.String())
+		}
+		if k.Requests <= 0 || !(k.Scale > 0) || k.Seed == 0 {
+			t.Fatalf("parser accepted out-of-domain key %+v from %q", k, s)
+		}
+	})
+}

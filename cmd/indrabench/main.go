@@ -73,47 +73,22 @@ func main() {
 		o.Obs = suite
 	}
 
-	type runner struct {
-		id string
-		fn func() (string, error)
-	}
-	runners := []runner{
-		{"table2", func() (string, error) { r, err := indra.Table2(o); return fmtOr(r, err) }},
-		{"table3", func() (string, error) { r, err := indra.Table3(o); return fmtOr(r, err) }},
-		{"table4", func() (string, error) { return indra.Table4(), nil }},
-		{"fig9", func() (string, error) { r, err := indra.Fig9(o); return fmtOr(r, err) }},
-		{"fig10", func() (string, error) { r, err := indra.Fig10(o); return fmtOr(r, err) }},
-		{"fig11", func() (string, error) { r, err := indra.Fig11(o); return fmtOr(r, err) }},
-		{"fig12", func() (string, error) { r, err := indra.Fig12(o); return fmtOr(r, err) }},
-		{"fig13", func() (string, error) { r, err := indra.Fig13(o); return fmtOr(r, err) }},
-		{"fig14", func() (string, error) { r, err := indra.Fig14(o); return fmtOr(r, err) }},
-		{"fig15", func() (string, error) { r, err := indra.Fig15(o); return fmtOr(r, err) }},
-		{"fig16", func() (string, error) { r, err := indra.Fig16(o); return fmtOr(r, err) }},
-		{"ablation-line", func() (string, error) { r, err := indra.AblationLineSize(o); return fmtOr(r, err) }},
-		{"ablation-cam", func() (string, error) { r, err := indra.AblationCAM(o); return fmtOr(r, err) }},
-		{"ablation-monitor", func() (string, error) { r, err := indra.AblationMonitorSpeed(o); return fmtOr(r, err) }},
-		{"ablation-rollback", func() (string, error) { r, err := indra.AblationRollback(o); return fmtOr(r, err) }},
-		{"ablation-space", func() (string, error) { r, err := indra.AblationSpace(o); return fmtOr(r, err) }},
-		{"ablation-resurrectors", func() (string, error) { r, err := indra.AblationResurrectors(o); return fmtOr(r, err) }},
-		{"availability", func() (string, error) { r, err := indra.Availability(o); return fmtOr(r, err) }},
-		{"latency", func() (string, error) { r, err := indra.DetectionLatency(o); return fmtOr(r, err) }},
-		{"ablation-bpred", func() (string, error) { r, err := indra.AblationBPred(o); return fmtOr(r, err) }},
-		{"faultsweep", func() (string, error) { r, err := indra.FaultSweep(o); return fmtOr(r, err) }},
-	}
-
+	// The experiment registry (ids, order, and formatting) is shared
+	// with the serving layer: indra.RunExperiment here prints exactly
+	// the bytes `indrasrv` returns for the same canonical cell key.
 	want := strings.ToLower(*exp)
 	if *faults {
 		want = "faultsweep"
 	}
 	ran := false
-	for _, r := range runners {
-		if want != "all" && want != r.id {
+	for _, id := range indra.Experiments() {
+		if want != "all" && want != id {
 			continue
 		}
 		ran = true
-		out, err := r.fn()
+		out, err := indra.RunExperiment(id, o)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "indrabench: %s: %v\n", r.id, err)
+			fmt.Fprintf(os.Stderr, "indrabench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
@@ -140,13 +115,4 @@ func main() {
 		w = runtime.GOMAXPROCS(0)
 	}
 	fmt.Fprintf(os.Stderr, "runner: %s, %d worker(s)\n", meter.Stats(), w)
-}
-
-type formatter interface{ Format() string }
-
-func fmtOr(r formatter, err error) (string, error) {
-	if err != nil {
-		return "", err
-	}
-	return r.Format(), nil
 }

@@ -1,0 +1,212 @@
+// Command indraload is the open-loop load generator for indrasrv: it
+// fires cell requests at a fixed arrival rate regardless of response
+// latency (so queueing shows up as latency and 429s, not a slowed-down
+// client), and reports throughput, status mix, and latency
+// percentiles.
+//
+// Usage:
+//
+//	indraload -url http://127.0.0.1:8080 -rate 20 -duration 10s
+//	indraload -url http://127.0.0.1:8080 -sweep 5,10,20,50 -duration 5s
+//	indraload -keys "fig9/req=2/scale=1/seed=1,table4/req=1/scale=1/seed=1"
+//
+// Without -keys the standard experiment suite is used, one cell per
+// registered experiment at -requests legitimate requests. The sweep
+// mode runs each arrival rate for -duration and prints one summary row
+// per rate — the serving layer's saturation curve.
+//
+// Exit status is non-zero when any response falls outside the expected
+// set (2xx success, 429 backpressure, 504 deadline) or a transport
+// error occurs, so CI can use a short run as a smoke gate.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indra"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "indrasrv base URL")
+		rate        = flag.Float64("rate", 20, "open-loop arrival rate, requests/second")
+		sweep       = flag.String("sweep", "", "comma-separated arrival rates; run each for -duration (overrides -rate)")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration per phase")
+		keysFlag    = flag.String("keys", "", "comma-separated canonical cell keys (default: the standard suite)")
+		requests    = flag.Int("requests", 2, "requests per cell when building the default suite keys")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		maxInflight = flag.Int("max-inflight", 256, "open-loop in-flight bound; arrivals beyond it are counted as dropped")
+	)
+	flag.Parse()
+
+	keys := buildKeys(*keysFlag, *requests)
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "indraload: no cell keys")
+		os.Exit(2)
+	}
+
+	rates := []float64{*rate}
+	if *sweep != "" {
+		rates = rates[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "indraload: bad -sweep rate %q\n", f)
+				os.Exit(2)
+			}
+			rates = append(rates, v)
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	fmt.Printf("%8s %8s %8s %8s %8s %8s %9s %9s %9s %9s\n",
+		"rate/s", "sent", "ok", "429", "504", "other", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)")
+	clean := true
+	for _, r := range rates {
+		ph := runPhase(client, *url, keys, r, *duration, *maxInflight)
+		fmt.Println(ph.row(r))
+		if ph.other > 0 || ph.transport > 0 {
+			clean = false
+		}
+	}
+	if !clean {
+		fmt.Fprintln(os.Stderr, "indraload: unexpected responses (outside 2xx/429/504) or transport errors")
+		os.Exit(1)
+	}
+}
+
+// buildKeys parses -keys, or derives the standard-suite key set: one
+// cell per registered experiment at the given request count.
+func buildKeys(flagVal string, requests int) []string {
+	if flagVal != "" {
+		var keys []string
+		for _, s := range strings.Split(flagVal, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			if _, err := indra.ParseCellKey(s); err != nil {
+				fmt.Fprintf(os.Stderr, "indraload: %v\n", err)
+				os.Exit(2)
+			}
+			keys = append(keys, s)
+		}
+		return keys
+	}
+	var keys []string
+	for _, id := range indra.Experiments() {
+		keys = append(keys, indra.CellKey{Experiment: id, Requests: requests, Scale: 1, Seed: 1}.String())
+	}
+	return keys
+}
+
+// phase accumulates one load phase's outcomes.
+type phase struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	sent      int64
+	ok        int64
+	busy      int64 // 429
+	deadline  int64 // 504
+	other     int64 // unexpected statuses
+	transport int64 // client-side errors
+	dropped   int64 // arrivals shed at the in-flight bound
+}
+
+// runPhase fires arrivals at rate/s for dur against url, round-robin
+// over keys, with at most maxInflight outstanding.
+func runPhase(client *http.Client, url string, keys []string, rate float64, dur time.Duration, maxInflight int) *phase {
+	p := &phase{}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(dur)
+
+	inflight := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			select {
+			case inflight <- struct{}{}:
+			default:
+				p.dropped++
+				continue
+			}
+			key := keys[int(next.Add(1)-1)%len(keys)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-inflight }()
+				p.fire(client, url, key)
+			}()
+		}
+	}
+	wg.Wait()
+	return p
+}
+
+// fire issues one POST /v1/cell and files the outcome.
+func (p *phase) fire(client *http.Client, url, key string) {
+	body := fmt.Sprintf(`{"key":%q}`, key)
+	start := time.Now()
+	resp, err := client.Post(url+"/v1/cell", "application/json", bytes.NewBufferString(body))
+	elapsed := time.Since(start)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sent++
+	if err != nil {
+		p.transport++
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	p.latencies = append(p.latencies, elapsed)
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		p.ok++
+	case resp.StatusCode == http.StatusTooManyRequests:
+		p.busy++
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		p.deadline++
+	default:
+		p.other++
+	}
+}
+
+// pct returns the q-quantile of the sorted latencies in milliseconds.
+func pct(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func (p *phase) row(rate float64) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sort.Slice(p.latencies, func(i, j int) bool { return p.latencies[i] < p.latencies[j] })
+	otherish := p.other + p.transport
+	return fmt.Sprintf("%8.1f %8d %8d %8d %8d %8d %9.1f %9.1f %9.1f %9.1f",
+		rate, p.sent, p.ok, p.busy, p.deadline, otherish,
+		pct(p.latencies, 0.50), pct(p.latencies, 0.90), pct(p.latencies, 0.99), pct(p.latencies, 1.0))
+}

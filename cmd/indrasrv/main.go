@@ -1,0 +1,104 @@
+// Command indrasrv serves the INDRA experiment suite over HTTP: a
+// long-running simulation-as-a-service front-end with a canonical
+// cell-key result cache (single-flight), admission control, and
+// /metrics observability.
+//
+// Usage:
+//
+//	indrasrv -addr :8080
+//	indrasrv -addr :8080 -workers 8 -queue 32 -cell-workers 1
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness (503 while draining)
+//	GET  /metrics          obs registry snapshot (JSON)
+//	GET  /v1/experiments   registered experiment ids
+//	GET  /v1/cell?key=K    run/fetch one cell by canonical key
+//	POST /v1/cell          {"key": "fig9/req=3/scale=1/seed=1"}
+//	POST /v1/cells         {"cells": [K, ...]} → NDJSON as cells finish
+//
+// A cell's output is byte-identical to `indrabench -experiment <id>`
+// with the same requests/scale/seed. Identical concurrent requests
+// coalesce onto one simulation; full queues answer 429 with a
+// Retry-After hint; per-request deadlines answer 504. SIGTERM/SIGINT
+// drains gracefully: stop accepting, finish in-flight requests, flush
+// the final metrics snapshot to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"indra/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue depth beyond the worker slots (0 = 4x workers)")
+		cellWorkers  = flag.Int("cell-workers", 1, "worker count inside each cell's own experiment fan-out (output is identical)")
+		shards       = flag.Int("cache-shards", 16, "result cache shards")
+		entries      = flag.Int("cache-entries", 4096, "result cache entry bound")
+		timeout      = flag.Duration("timeout", 120*time.Second, "default per-request deadline")
+		maxRequests  = flag.Int("max-requests", 64, "largest per-cell request count a client may ask for")
+		maxScale     = flag.Float64("max-scale", 10, "largest workload scale a client may ask for")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound after SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CellWorkers:    *cellWorkers,
+		CacheShards:    *shards,
+		CacheEntries:   *entries,
+		DefaultTimeout: *timeout,
+		MaxRequests:    *maxRequests,
+		MaxScale:       *maxScale,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indrasrv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "indrasrv: serving on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+
+	select {
+	case err := <-errCh:
+		// Listener failure before any signal: nothing to drain.
+		fmt.Fprintf(os.Stderr, "indrasrv: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, finish in-flight requests within
+	// the drain budget, then flush the final metrics snapshot.
+	fmt.Fprintf(os.Stderr, "indrasrv: draining (up to %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	snap, err := srv.Drain(dctx)
+	<-errCh // Serve has returned http.ErrServerClosed by now
+	if out, jerr := json.Marshal(snap); jerr == nil {
+		fmt.Fprintf(os.Stderr, "indrasrv: final metrics: %s\n", out)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indrasrv: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "indrasrv: drained cleanly")
+}

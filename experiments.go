@@ -3,6 +3,7 @@ package indra
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"indra/internal/attack"
@@ -870,6 +871,178 @@ func Table4() string {
 		fmt.Fprintf(&b, "%-26s %s\n", r[0], r[1])
 	}
 	return b.String()
+}
+
+// ------------------------------------------------- experiment cells
+
+// CellKey is the canonical name of one experiment cell: which
+// experiment to run and the scalar options that pin its output. Two
+// keys that format identically describe byte-identical runs (the
+// worker count is deliberately absent — the parallel runner guarantees
+// output is independent of it), which is what makes the key usable as
+// a result-cache identity in the serving layer.
+type CellKey struct {
+	// Experiment is a registry id from Experiments() (e.g. "fig9").
+	Experiment string
+	// Requests is the number of legitimate requests per service.
+	Requests int
+	// Scale is the workload scale (1.0 = the calibrated 1/10 paper).
+	Scale float64
+	// Seed is the request-stream seed.
+	Seed uint32
+}
+
+// String renders the canonical key, e.g. "fig9/req=3/scale=1/seed=1".
+// The format is a fixed field order with %g floats (shortest exact
+// representation), so String is a fixed point: ParseCellKey(k.String())
+// returns k, and k.String() == ParseCellKey(k.String()).String().
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/req=%d/scale=%g/seed=%d", k.Experiment, k.Requests, k.Scale, k.Seed)
+}
+
+// Options returns the experiment options the key pins. The caller
+// supplies scheduling knobs (Workers, Meter, Obs) separately — they do
+// not change the output and are not part of the key.
+func (k CellKey) Options() ExpOptions {
+	return ExpOptions{Requests: k.Requests, Scale: k.Scale, Seed: k.Seed}
+}
+
+// ParseCellKey parses a canonical cell key. The experiment id comes
+// first; the option fields may appear in any order and any subset —
+// omitted fields take the standard-suite defaults (8 requests, scale 1,
+// seed 1) so "fig9" alone is a valid key. Unknown fields, non-positive
+// requests or scale, and a zero seed are rejected. The experiment id is
+// validated syntactically only (lowercase letters, digits, dashes);
+// membership in the registry is checked at run time, so the parser
+// round-trips keys for experiments that do not exist yet.
+func ParseCellKey(s string) (CellKey, error) {
+	parts := strings.Split(s, "/")
+	name := parts[0]
+	if name == "" {
+		return CellKey{}, fmt.Errorf("cell key %q: empty experiment id", s)
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+			return CellKey{}, fmt.Errorf("cell key %q: experiment id may contain only [a-z0-9-]", s)
+		}
+	}
+	k := CellKey{Experiment: name, Requests: 8, Scale: 1, Seed: 1}
+	for _, field := range parts[1:] {
+		fname, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return CellKey{}, fmt.Errorf("cell key %q: field %q is not name=value", s, field)
+		}
+		switch fname {
+		case "req":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return CellKey{}, fmt.Errorf("cell key %q: req must be a positive integer", s)
+			}
+			k.Requests = n
+		case "scale":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !(f > 0) || f > 1e6 {
+				return CellKey{}, fmt.Errorf("cell key %q: scale must be a positive number", s)
+			}
+			k.Scale = f
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 32)
+			if err != nil || n == 0 {
+				return CellKey{}, fmt.Errorf("cell key %q: seed must be a positive 32-bit integer", s)
+			}
+			k.Seed = uint32(n)
+		default:
+			return CellKey{}, fmt.Errorf("cell key %q: unknown field %q", s, fname)
+		}
+	}
+	return k, nil
+}
+
+// experiment pairs a registry id with its formatted runner.
+type experiment struct {
+	id  string
+	run func(ExpOptions) (string, error)
+}
+
+// formatted adapts an Experiment function to the registry signature.
+func formatted[R interface{ Format() string }](fn func(ExpOptions) (R, error)) func(ExpOptions) (string, error) {
+	return func(o ExpOptions) (string, error) {
+		r, err := fn(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}
+}
+
+// experimentList is the registry behind Experiments/RunExperiment, in
+// the suite's canonical print order (what `indrabench -experiment all`
+// emits).
+func experimentList() []experiment {
+	return []experiment{
+		{"table2", formatted(Table2)},
+		{"table3", formatted(Table3)},
+		{"table4", func(ExpOptions) (string, error) { return Table4(), nil }},
+		{"fig9", formatted(Fig9)},
+		{"fig10", formatted(Fig10)},
+		{"fig11", formatted(Fig11)},
+		{"fig12", formatted(Fig12)},
+		{"fig13", formatted(Fig13)},
+		{"fig14", formatted(Fig14)},
+		{"fig15", formatted(Fig15)},
+		{"fig16", formatted(Fig16)},
+		{"ablation-line", formatted(AblationLineSize)},
+		{"ablation-cam", formatted(AblationCAM)},
+		{"ablation-monitor", formatted(AblationMonitorSpeed)},
+		{"ablation-rollback", formatted(AblationRollback)},
+		{"ablation-space", formatted(AblationSpace)},
+		{"ablation-resurrectors", formatted(AblationResurrectors)},
+		{"availability", formatted(Availability)},
+		{"latency", formatted(DetectionLatency)},
+		{"ablation-bpred", formatted(AblationBPred)},
+		{"faultsweep", formatted(FaultSweep)},
+	}
+}
+
+// Experiments returns the ids of every registered experiment in the
+// suite's canonical order.
+func Experiments() []string {
+	list := experimentList()
+	ids := make([]string, len(list))
+	for i, e := range list {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// KnownExperiment reports whether id names a registered experiment.
+func KnownExperiment(id string) bool {
+	for _, e := range experimentList() {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RunExperiment runs the registered experiment id under o and returns
+// its formatted output — exactly the text `indrabench -experiment id`
+// prints for that experiment.
+func RunExperiment(id string, o ExpOptions) (string, error) {
+	for _, e := range experimentList() {
+		if e.id == id {
+			return e.run(o)
+		}
+	}
+	return "", fmt.Errorf("unknown experiment %q", id)
+}
+
+// RunCell runs the experiment cell k names. o contributes only the
+// scheduling knobs (Workers, Meter, Obs); the output-determining fields
+// come from the key, so equal keys always produce equal bytes.
+func RunCell(k CellKey, o ExpOptions) (string, error) {
+	o.Requests, o.Scale, o.Seed = k.Requests, k.Scale, k.Seed
+	return RunExperiment(k.Experiment, o)
 }
 
 // MonitorRecordMix reports the monitor's record distribution for a

@@ -61,6 +61,22 @@ func (p Pool) workers(n int) int {
 // started yet are skipped. Results of successful jobs that ran before
 // the failure are discarded with the error, matching serial semantics.
 func Run[T, R any](p Pool, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	return Stream(p, items, fn, nil)
+}
+
+// Stream is Run with a completion tap: emit (when non-nil) is called
+// once per executed job as it completes, in completion order, with the
+// job's index, result and error. Calls to emit are serialized, so it
+// may touch shared state (an HTTP response stream, a progress bar)
+// without its own locking. Jobs skipped after an earlier job's failure
+// are never emitted.
+//
+// The returned slice and error follow Run's canonical-merge contract
+// exactly: input-order results, lowest-indexed error. Stream is the
+// serving layer's batch primitive — results stream to the client as
+// cells finish while the ordered merge stays available to callers that
+// want it.
+func Stream[T, R any](p Pool, items []T, fn func(int, T) (R, error), emit func(int, R, error)) ([]R, error) {
 	n := len(items)
 	if n == 0 {
 		return nil, nil
@@ -75,6 +91,7 @@ func Run[T, R any](p Pool, items []T, fn func(int, T) (R, error)) ([]R, error) {
 	// fail too and become the error a serial loop reports first.
 	var failed atomic.Int64
 	failed.Store(int64(n))
+	var emitMu sync.Mutex
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -96,9 +113,14 @@ func Run[T, R any](p Pool, items []T, fn func(int, T) (R, error)) ([]R, error) {
 							break
 						}
 					}
-					continue
+				} else {
+					results[i] = r
 				}
-				results[i] = r
+				if emit != nil {
+					emitMu.Lock()
+					emit(i, r, err)
+					emitMu.Unlock()
+				}
 			}
 		}()
 	}

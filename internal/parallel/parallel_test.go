@@ -154,6 +154,89 @@ func TestNilMeterIsSafe(t *testing.T) {
 	}
 }
 
+func TestStreamEmitsEveryJobOnceSerialized(t *testing.T) {
+	const n = 64
+	// seen is deliberately not synchronized: the emit serialization
+	// contract is what keeps this race-free (the -race CI leg checks).
+	seen := make(map[int]int)
+	var emitted []int
+	out, err := Stream(Pool{Workers: 8}, make([]int, n), func(i, _ int) (int, error) {
+		return i * 3, nil
+	}, func(i, r int, err error) {
+		if err != nil {
+			t.Errorf("job %d: unexpected error %v", i, err)
+		}
+		if r != i*3 {
+			t.Errorf("job %d emitted %d, want %d", i, r, i*3)
+		}
+		seen[i]++
+		emitted = append(emitted, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n || len(emitted) != n {
+		t.Fatalf("emitted %d jobs over %d distinct indices, want %d", len(emitted), len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("job %d emitted %d times", i, c)
+		}
+	}
+	for i, v := range out { // ordered merge still matches Run's contract
+		if v != i*3 {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+func TestStreamEmitsCompletionOrderAndErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var order []int
+	var gotErr error
+	_, err := Stream(Pool{Workers: 2}, []int{0, 1}, func(i, _ int) (int, error) {
+		if i == 0 {
+			time.Sleep(20 * time.Millisecond) // job 1 must finish first
+			return 0, boom
+		}
+		return 1, nil
+	}, func(i, _ int, err error) {
+		order = append(order, i)
+		if err != nil {
+			gotErr = err
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("stream error %v, want %v", err, boom)
+	}
+	if !errors.Is(gotErr, boom) {
+		t.Fatalf("failing job's emit carried %v, want %v", gotErr, boom)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("emit order %v, want [1 0] (completion order)", order)
+	}
+}
+
+func TestStreamSkipsEmitAfterFailure(t *testing.T) {
+	// Workers: 1 — after job 0 fails, the remaining jobs are skipped
+	// and must not be emitted.
+	var emitted []int
+	_, err := Stream(Pool{Workers: 1}, []int{0, 1, 2, 3}, func(i, _ int) (int, error) {
+		if i == 0 {
+			return 0, errors.New("first job fails")
+		}
+		return i, nil
+	}, func(i, _ int, _ error) {
+		emitted = append(emitted, i)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(emitted) != 1 || emitted[0] != 0 {
+		t.Fatalf("emitted %v, want only the failing job [0]", emitted)
+	}
+}
+
 // TestRunIsolationUnderRace hammers a fan-out whose jobs each own
 // private state; run with -race this is the package's self-check that
 // the pool adds no sharing of its own.

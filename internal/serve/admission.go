@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"indra/internal/obs"
+)
+
+// ErrBusy is returned by admission when the bounded queue is full; the
+// HTTP layer maps it to 429 with a Retry-After hint.
+var ErrBusy = errors.New("serve: admission queue full")
+
+// admission is the server's load shedder: at most workers cells
+// execute concurrently, at most queueDepth more wait for a slot, and
+// everything beyond that is rejected immediately with ErrBusy instead
+// of queueing without bound. A waiter whose context expires before a
+// slot frees gives up its queue position (the HTTP layer maps that to
+// 504), so stuck clients cannot pin queue capacity.
+type admission struct {
+	slots    chan struct{} // capacity = workers: filled while executing
+	admitted atomic.Int64  // executing + waiting
+	max      int64         // workers + queueDepth
+	workers  int
+	depth    *obs.Gauge
+}
+
+func newAdmission(workers, queueDepth int, depth *obs.Gauge) *admission {
+	return &admission{
+		slots:   make(chan struct{}, workers),
+		max:     int64(workers + queueDepth),
+		workers: workers,
+		depth:   depth,
+	}
+}
+
+// acquire admits the caller and blocks until a worker slot is free.
+// On success it returns the release function the caller must invoke
+// when execution finishes. It fails fast with ErrBusy when the queue
+// is full, and with ctx.Err() when the caller's deadline expires while
+// waiting — in both cases the caller's queue position is released
+// before returning.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	n := a.admitted.Add(1)
+	if n > a.max {
+		a.admitted.Add(-1)
+		return nil, ErrBusy
+	}
+	a.depth.Set(uint64(n))
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		a.depth.Set(uint64(a.admitted.Add(-1)))
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.depth.Set(uint64(a.admitted.Add(-1)))
+}
+
+// retryAfterSeconds estimates how long a rejected client should back
+// off: roughly one queue-drain generation (admitted cells over worker
+// slots), clamped to [1s, 60s]. It is a hint, not a promise.
+func (a *admission) retryAfterSeconds() int {
+	n := int(a.admitted.Load())
+	sec := (n + a.workers - 1) / a.workers
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"indra"
+	"indra/internal/parallel"
+)
+
+// cellRequest is the JSON body of POST /v1/cell. Either Key (a
+// canonical cell-key string) or Experiment (+ optional knobs) names
+// the cell; Key wins when both are present.
+type cellRequest struct {
+	Key        string  `json:"key,omitempty"`
+	Experiment string  `json:"experiment,omitempty"`
+	Requests   int     `json:"requests,omitempty"`
+	Scale      float64 `json:"scale,omitempty"`
+	Seed       uint32  `json:"seed,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline
+	// (capped at Config.MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// cellsRequest is the JSON body of POST /v1/cells: a batch of
+// canonical cell-key strings answered as an NDJSON stream.
+type cellsRequest struct {
+	Cells     []string `json:"cells"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// cellResponse is one cell's result: the canonical key, the formatted
+// experiment output (byte-identical to indrabench), whether it was
+// served without executing a simulation, and the observed latency. In
+// the NDJSON stream Status/Error carry per-cell failures (the stream
+// itself is always 200 once it starts).
+type cellResponse struct {
+	Key       string `json:"key"`
+	Output    string `json:"output,omitempty"`
+	Cached    bool   `json:"cached"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	Status    int    `json:"status"`
+	Error     string `json:"error,omitempty"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperiments))
+	s.mux.HandleFunc("GET /v1/cell", s.instrument(s.handleCell))
+	s.mux.HandleFunc("POST /v1/cell", s.instrument(s.handleCell))
+	s.mux.HandleFunc("POST /v1/cells", s.instrument(s.handleCells))
+}
+
+// statusWriter records the response code for metrics and forwards
+// Flush so the NDJSON stream stays incremental through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.m.httpRequests.Inc()
+		s.m.status(sw.code)
+		s.m.httpLatency.Observe(uint64(time.Since(start).Microseconds()))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"uptime_ms":   time.Since(s.start).Milliseconds(),
+		"experiments": len(indra.Experiments()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": indra.Experiments()})
+}
+
+// parseCell extracts and validates the cell key of a single-cell
+// request (GET query or POST body). The returned status is the HTTP
+// code to answer with when err is non-nil.
+func (s *Server) parseCell(r *http.Request) (indra.CellKey, time.Duration, int, error) {
+	var req cellRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req.Key = q.Get("key")
+		if ms := q.Get("timeout_ms"); ms != "" {
+			n, err := strconv.ParseInt(ms, 10, 64)
+			if err != nil {
+				return indra.CellKey{}, 0, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", ms)
+			}
+			req.TimeoutMS = n
+		}
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return indra.CellKey{}, 0, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+	}
+
+	var key indra.CellKey
+	switch {
+	case req.Key != "":
+		k, err := indra.ParseCellKey(req.Key)
+		if err != nil {
+			return indra.CellKey{}, 0, http.StatusBadRequest, err
+		}
+		key = k
+	case req.Experiment != "":
+		key = indra.CellKey{Experiment: req.Experiment, Requests: req.Requests, Scale: req.Scale, Seed: req.Seed}
+		if key.Requests == 0 {
+			key.Requests = 8
+		}
+		if key.Scale == 0 {
+			key.Scale = 1
+		}
+		if key.Seed == 0 {
+			key.Seed = 1
+		}
+		// Normalize through the canonical string so hand-built and
+		// key-string requests share cache entries (and get the same
+		// validation).
+		k, err := indra.ParseCellKey(key.String())
+		if err != nil {
+			return indra.CellKey{}, 0, http.StatusBadRequest, err
+		}
+		key = k
+	default:
+		return indra.CellKey{}, 0, http.StatusBadRequest, errors.New(`missing "key" or "experiment"`)
+	}
+
+	if status, err := s.validate(key); err != nil {
+		return indra.CellKey{}, 0, status, err
+	}
+	return key, s.timeout(req.TimeoutMS), 0, nil
+}
+
+func (s *Server) validate(key indra.CellKey) (int, error) {
+	if !indra.KnownExperiment(key.Experiment) {
+		return http.StatusNotFound, fmt.Errorf("unknown experiment %q", key.Experiment)
+	}
+	if key.Requests > s.cfg.MaxRequests {
+		return http.StatusBadRequest, fmt.Errorf("requests %d exceeds server limit %d", key.Requests, s.cfg.MaxRequests)
+	}
+	if key.Scale > s.cfg.MaxScale {
+		return http.StatusBadRequest, fmt.Errorf("scale %g exceeds server limit %g", key.Scale, s.cfg.MaxScale)
+	}
+	return 0, nil
+}
+
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// runCell is the serving core shared by the single and batch
+// endpoints: cache with single-flight, then admission, then execution.
+func (s *Server) runCell(ctx context.Context, key indra.CellKey) cellResponse {
+	start := time.Now()
+	ks := key.String()
+	s.m.cells.Inc()
+	out, cached, err := s.cache.do(ctx, ks, func() (string, error) {
+		release, aerr := s.adm.acquire(ctx)
+		if aerr != nil {
+			return "", aerr
+		}
+		defer release()
+		s.m.executions.Inc()
+		execStart := time.Now()
+		o, rerr := s.cfg.Runner(key)
+		s.m.execLatency.Observe(uint64(time.Since(execStart).Microseconds()))
+		return o, rerr
+	})
+	s.m.cellLatency.Observe(uint64(time.Since(start).Microseconds()))
+	resp := cellResponse{Key: ks, Cached: cached, ElapsedMS: time.Since(start).Milliseconds()}
+	switch {
+	case err == nil:
+		resp.Status = http.StatusOK
+		resp.Output = out
+	case errors.Is(err, ErrBusy):
+		s.m.rejected.Inc()
+		resp.Status = http.StatusTooManyRequests
+		resp.Error = err.Error()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.m.deadlines.Inc()
+		resp.Status = http.StatusGatewayTimeout
+		resp.Error = "deadline expired before the cell completed"
+	default:
+		resp.Status = http.StatusInternalServerError
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	key, timeout, status, err := s.parseCell(r)
+	if err != nil {
+		writeErr(w, status, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp := s.runCell(ctx, key)
+	if resp.Status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+	}
+	writeJSON(w, resp.Status, resp)
+}
+
+// handleCells answers a batch of cells as NDJSON, one cellResponse
+// per line in completion order, flushed as each cell finishes. The
+// stream status is 200 once output starts; per-cell failures (429,
+// 504, 500) ride in each line's status/error fields so one saturated
+// or slow cell does not abort its siblings.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req cellsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty cells batch")
+		return
+	}
+	if len(req.Cells) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest, "batch of %d cells exceeds server limit %d", len(req.Cells), s.cfg.MaxBatch)
+		return
+	}
+	keys := make([]indra.CellKey, len(req.Cells))
+	for i, ks := range req.Cells {
+		k, err := indra.ParseCellKey(ks)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "cells[%d]: %v", i, err)
+			return
+		}
+		if status, err := s.validate(k); err != nil {
+			writeErr(w, status, "cells[%d]: %v", i, err)
+			return
+		}
+		keys[i] = k
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// The batch fans out on the same pool fabric as the offline
+	// experiment runner; emit streams each cell's line as it completes
+	// (parallel.Stream serializes emit calls). Cell failures are data
+	// here, not errors, so the whole batch always runs.
+	_, _ = parallel.Stream(parallel.Pool{Workers: s.cfg.Workers}, keys,
+		func(_ int, k indra.CellKey) (cellResponse, error) {
+			return s.runCell(ctx, k), nil
+		},
+		func(_ int, resp cellResponse, _ error) {
+			_ = enc.Encode(resp)
+			if fl != nil {
+				fl.Flush()
+			}
+		})
+}

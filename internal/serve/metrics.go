@@ -1,0 +1,55 @@
+package serve
+
+import "indra/internal/obs"
+
+// metrics is the server's handle bundle into the obs registry. Names
+// are stable API: the e2e and soak tests key on them, and operators
+// scrape them from /metrics.
+type metrics struct {
+	httpRequests *obs.Counter // HTTP requests served, any endpoint
+	http2xx      *obs.Counter // responses by status class
+	http4xx      *obs.Counter
+	http5xx      *obs.Counter
+
+	cells      *obs.Counter // cell requests (single + batch lines)
+	executions *obs.Counter // simulations actually run (single-flight leaders)
+	cacheHits  *obs.Counter // cell requests answered without executing
+	cacheMiss  *obs.Counter // cell requests that became the executing leader
+	rejected   *obs.Counter // 429s (admission queue full)
+	deadlines  *obs.Counter // 504s (deadline expired before a result)
+
+	queueDepth  *obs.Gauge     // admitted cells (executing + waiting), with high-water
+	httpLatency *obs.Histogram // per-HTTP-request latency, µs
+	cellLatency *obs.Histogram // per-cell latency incl. cache/queue, µs
+	execLatency *obs.Histogram // per-execution simulation latency, µs
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		httpRequests: r.Counter("serve.http.requests"),
+		http2xx:      r.Counter("serve.http.2xx"),
+		http4xx:      r.Counter("serve.http.4xx"),
+		http5xx:      r.Counter("serve.http.5xx"),
+		cells:        r.Counter("serve.cells"),
+		executions:   r.Counter("serve.executions"),
+		cacheHits:    r.Counter("serve.cache.hits"),
+		cacheMiss:    r.Counter("serve.cache.misses"),
+		rejected:     r.Counter("serve.rejected"),
+		deadlines:    r.Counter("serve.deadlines"),
+		queueDepth:   r.Gauge("serve.queue.depth"),
+		httpLatency:  r.Histogram("serve.http.latency_us"),
+		cellLatency:  r.Histogram("serve.cell.latency_us"),
+		execLatency:  r.Histogram("serve.exec.latency_us"),
+	}
+}
+
+func (m metrics) status(code int) {
+	switch {
+	case code >= 500:
+		m.http5xx.Inc()
+	case code >= 400:
+		m.http4xx.Inc()
+	default:
+		m.http2xx.Inc()
+	}
+}

@@ -1,0 +1,193 @@
+// Package serve turns the INDRA experiment suite into a long-running
+// network service: an HTTP/JSON front-end that accepts canonical
+// experiment-cell requests (indra.CellKey strings), executes them on a
+// bounded worker pool, and returns output byte-identical to the
+// offline indrabench run of the same cell.
+//
+// The serving pipeline, request to response:
+//
+//	parse → cache (sharded, single-flight) → admission (bounded queue,
+//	429 + Retry-After, per-request deadline) → execute → respond
+//
+// Because a cell key pins every output-determining knob and the
+// parallel runner guarantees worker-count independence, the cache can
+// treat the canonical key string as the result's identity: concurrent
+// identical requests coalesce onto one simulation (single-flight) and
+// repeat requests are served from memory. Admission control bounds the
+// simulations in flight (Workers) plus those waiting (QueueDepth);
+// beyond that the server sheds load with 429 and a Retry-After hint
+// rather than queueing without bound.
+//
+// Observability rides on internal/obs: request/cell/execution
+// counters, cache hit/miss counters, a queue-depth gauge with
+// high-water mark, and log2 latency histograms, all exposed as a JSON
+// snapshot at /metrics. Draining (SIGTERM in cmd/indrasrv) stops
+// accepting work, finishes in-flight requests, and returns the final
+// metrics snapshot for flushing.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"indra"
+	"indra/internal/obs"
+)
+
+// Config tunes the server. The zero value serves the full experiment
+// registry with GOMAXPROCS concurrent cells, a 4x queue, and a
+// 16-shard cache.
+type Config struct {
+	// Workers bounds concurrently executing simulation cells;
+	// 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds cells admitted but waiting for a worker slot;
+	// beyond Workers+QueueDepth requests are rejected with 429.
+	// 0 selects 4*Workers.
+	QueueDepth int
+	// CellWorkers is the worker count passed to each cell's own
+	// experiment fan-out (0 selects 1: cells parallelize across, not
+	// within, requests). Output is identical either way.
+	CellWorkers int
+	// CacheShards is the result cache's shard count (0 selects 16).
+	CacheShards int
+	// CacheEntries bounds cached results across all shards
+	// (0 selects 4096).
+	CacheEntries int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// none (0 selects 120s); MaxTimeout caps client-requested
+	// deadlines (0 selects 15m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRequests and MaxScale cap the per-cell workload a client may
+	// ask for (0 selects 64 and 10).
+	MaxRequests int
+	MaxScale    float64
+	// MaxBatch caps the cells in one /v1/cells request (0 selects 256).
+	MaxBatch int
+	// Reg receives the server's metrics (nil creates a fresh registry).
+	Reg *obs.Registry
+	// Runner executes one cell (nil selects indra.RunCell with
+	// CellWorkers). Tests inject stubs here.
+	Runner func(indra.CellKey) (string, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CellWorkers <= 0 {
+		c.CellWorkers = 1
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 15 * time.Minute
+	}
+	if c.MaxRequests <= 0 {
+		c.MaxRequests = 64
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = 10
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Reg == nil {
+		c.Reg = obs.NewRegistry()
+	}
+	if c.Runner == nil {
+		inner := c.CellWorkers
+		c.Runner = func(k indra.CellKey) (string, error) {
+			return indra.RunCell(k, indra.ExpOptions{Workers: inner})
+		}
+	}
+	return c
+}
+
+// Server is the simulation-as-a-service front-end. Create with New,
+// attach to a listener with Serve (or mount Handler on an existing
+// mux), and stop with Drain.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	m        metrics
+	cache    *resultCache
+	adm      *admission
+	mux      *http.ServeMux
+	http     *http.Server
+	start    time.Time
+	draining atomic.Bool
+}
+
+// New builds a server from cfg (zero value is serviceable).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Reg,
+		m:     newMetrics(cfg.Reg),
+		start: time.Now(),
+	}
+	s.cache = newResultCache(cfg.CacheShards, cfg.CacheEntries, s.m.cacheHits, s.m.cacheMiss)
+	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth, s.m.queueDepth)
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Drain or a listener error.
+// Like http.Server.Serve it returns http.ErrServerClosed after a clean
+// drain.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Drain.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the server down: new cell work is rejected
+// with 503, listeners stop accepting, in-flight requests run to
+// completion (bounded by ctx), and the final metrics snapshot is
+// returned for flushing. Safe to call without a listener attached.
+func (s *Server) Drain(ctx context.Context) (obs.Snapshot, error) {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return s.Metrics(), err
+}
+
+// Metrics snapshots the server's registry. The snapshot cycle is the
+// server's uptime in milliseconds (the serving layer has no simulated
+// clock of its own).
+func (s *Server) Metrics() obs.Snapshot {
+	return s.reg.Snapshot(uint64(time.Since(s.start).Milliseconds()))
+}
