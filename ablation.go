@@ -268,7 +268,7 @@ func AblationRollback(o ExpOptions) (*AblationRollbackResult, error) {
 		if _, err := ch.LaunchService(0, service, prog, port); err != nil {
 			return 0, 0, err
 		}
-		result, err := ch.Run(0)
+		ch, result, err := o.drive(ch, 0)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -394,7 +394,7 @@ func AblationResurrectors(o ExpOptions) (*AblationResurrectorsResult, error) {
 				return 0, err
 			}
 		}
-		res, err := ch.Run(0)
+		_, res, err := o.drive(ch, 0)
 		if err != nil {
 			return 0, err
 		}

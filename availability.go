@@ -80,9 +80,12 @@ func Availability(o ExpOptions) (*AvailabilityResult, error) {
 		if _, err := ch.LaunchService(0, service, prog, port); err != nil {
 			return AvailabilityRow{}, err
 		}
-		result, err := ch.Run(0)
+		ch, result, err := o.drive(ch, 0)
 		if err != nil {
 			return AvailabilityRow{}, err
+		}
+		if p := ch.ActivePort(0); p != nil {
+			port = p
 		}
 		served, total := 0, 0
 		for _, r := range port.Records() {

@@ -26,6 +26,14 @@
 // and fails when any cell regresses past the thresholds relative to
 // BENCH_baseline.json's perf section (see internal/perf). With
 // -update-bench it instead refreshes that perf section in place.
+//
+// -resume-dir makes long runs crash-resumable: every in-flight service
+// run periodically snapshots its chip into the directory (cadence
+// -resume-every executed instructions), and a rerun after a crash
+// resumes each unfinished run from its last snapshot instead of
+// instruction zero. Output is byte-identical either way (the
+// resume-equivalence harness holds that property); completed runs
+// clean their progress files up.
 package main
 
 import (
@@ -51,6 +59,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = serial; output is identical)")
 		metrics  = flag.String("metrics-dir", "", "write one metrics JSON per simulation cell plus a merged summary.json into this directory")
 
+		resumeDir   = flag.String("resume-dir", "", "make long runs crash-resumable: periodically snapshot every in-flight service run into this directory and resume from the snapshots on restart (output is identical)")
+		resumeEvery = flag.Uint64("resume-every", 0, "with -resume-dir: progress-snapshot cadence in executed instructions (0 = 2,000,000)")
+
 		perfcheck    = flag.Bool("perfcheck", false, "run the performance suite, write -perf-out, and gate against the baseline's perf section")
 		perfOut      = flag.String("perf-out", "BENCH_pr.json", "perfcheck report path")
 		perfBaseline = flag.String("perf-baseline", "BENCH_baseline.json", "benchmark baseline document")
@@ -71,6 +82,19 @@ func main() {
 	if *metrics != "" {
 		suite = obs.NewSuite()
 		o.Obs = suite
+	}
+	var resumer *indra.Resumer
+	if *resumeDir != "" {
+		if *metrics != "" {
+			fmt.Fprintln(os.Stderr, "indrabench: -resume-dir and -metrics-dir are exclusive (observability wiring cannot ride a snapshot restore)")
+			os.Exit(2)
+		}
+		if err := os.MkdirAll(*resumeDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "indrabench: -resume-dir: %v\n", err)
+			os.Exit(1)
+		}
+		resumer = &indra.Resumer{Dir: *resumeDir, Every: *resumeEvery}
+		o.RunLoop = resumer.RunLoop
 	}
 
 	// The experiment registry (ids, order, and formatting) is shared
@@ -104,6 +128,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: %d cells written to %s\n", suite.Len(), *metrics)
+	}
+
+	if resumer != nil {
+		st := resumer.Stats()
+		fmt.Fprintf(os.Stderr, "resume: %d run(s) continued from progress snapshots, %d snapshot(s) written\n",
+			st.Resumed, st.Saved)
 	}
 
 	// The runner's timing summary: cells executed, wall time,

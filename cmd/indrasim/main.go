@@ -12,12 +12,30 @@
 //	indrasim -service httpd -inject fifo-corrupt:1e-3,monitor-stall:0.01:200000
 //	indrasim -service bind -inject monitor-stall:1 -heartbeat 20000 -degrade fail-open
 //	indrasim -service httpd -metrics -metrics-every 100000 -trace-out httpd.json
+//	indrasim -service imap -snapshot-every 100000 -snapshot-out imap.snap
+//	indrasim -snapshot-in imap.snap
+//	indrasim -service httpd -attack stack-smash -rewind -snapshot-every 10000
 //
 // -metrics prints the run's metrics snapshots as JSON (-metrics-every N
 // adds a mid-run snapshot every N instructions); -trace-out writes a
 // Chrome trace-event file loadable in Perfetto or chrome://tracing.
 // Observation never perturbs the simulation: output with and without
 // these flags is byte-identical.
+//
+// Snapshots make long runs crash-resumable and violations replayable.
+// -snapshot-out writes the chip's final state; with -snapshot-every N
+// the file is instead rewritten (atomically) every N executed
+// instructions, so a killed run loses at most N instructions — resume
+// it with -snapshot-in, which restores the chip (request stream
+// included) and runs it to completion. A restored run's output is
+// byte-identical to the uninterrupted run (the resume-equivalence
+// harness holds that property). A snapshot that fails to load — short
+// file, corruption, format version skew — is a hard error: indrasim
+// prints the decoder's diagnostic and exits non-zero. -rewind (with
+// -snapshot-every N) keeps the last snapshot taken before the first
+// monitor violation and replays from it after the run, reporting how
+// far before the violation the clean state was; with -snapshot-out the
+// pre-violation image is written there for -snapshot-in iteration.
 //
 // -inject arms protection-layer fault sites (site:rate[:stallCycles]
 // [@from-to], comma-separated; sites: fifo-corrupt, fifo-drop,
@@ -33,6 +51,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +66,7 @@ import (
 	"indra/internal/netsim"
 	"indra/internal/obs"
 	"indra/internal/parallel"
+	"indra/internal/snapshot"
 	"indra/internal/workload"
 )
 
@@ -69,6 +89,11 @@ func main() {
 		metrics      = flag.Bool("metrics", false, "print the end-of-run metrics snapshot(s) as JSON")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
 		metricsEvery = flag.Uint64("metrics-every", 0, "snapshot the metrics registry every N executed instructions (0 = end of run only)")
+
+		snapOut   = flag.String("snapshot-out", "", "write a chip-state snapshot file (at end of run, or every -snapshot-every instructions)")
+		snapIn    = flag.String("snapshot-in", "", "resume a run from a snapshot file instead of booting")
+		snapEvery = flag.Uint64("snapshot-every", 0, "snapshot the chip every N executed instructions (crash-resumable; needs -snapshot-out or -rewind)")
+		rewind    = flag.Bool("rewind", false, "after the run, replay from the last pre-violation snapshot (needs -snapshot-every)")
 
 		inject     = flag.String("inject", "", "fault plans, site:rate[:stallCycles][@from-to] comma-separated (sites: fifo-corrupt, fifo-drop, ckpt-bitvec, ckpt-line, monitor-stall, dram-read)")
 		injectSeed = flag.Uint64("inject-seed", 1, "base seed for -inject plans")
@@ -153,6 +178,30 @@ func main() {
 	}
 
 	services := strings.Split(*service, ",")
+	if *snapOut != "" || *snapIn != "" || *snapEvery > 0 || *rewind {
+		if len(services) > 1 || *isolate {
+			fatalf("snapshot flags drive a single-service run (no -isolate, no service list)")
+		}
+		if *rewind && *snapEvery == 0 {
+			fatalf("-rewind needs -snapshot-every N (the snapshot cadence bounds the replay window)")
+		}
+		if *snapIn != "" && col != nil {
+			fatalf("-snapshot-in restores a chip without observability wiring; drop -metrics/-trace-out/-metrics-every")
+		}
+		if *snapEvery > 0 && *snapOut == "" && !*rewind {
+			fatalf("-snapshot-every needs -snapshot-out (periodic file) or -rewind (in-memory replay)")
+		}
+	}
+	var snap *snapshotter
+	if *snapEvery > 0 {
+		snap = &snapshotter{every: *snapEvery, out: *snapOut, rewind: *rewind}
+	}
+
+	if *snapIn != "" {
+		resumeFromSnapshot(*snapIn, snap, *snapOut, *verbose)
+		return
+	}
+
 	if len(services) > 1 {
 		if *isolate {
 			runIsolated(cfg, services, *requests, uint32(*seed), *scale, *workers, kinds)
@@ -163,15 +212,23 @@ func main() {
 		return
 	}
 
+	var loop indra.RunLoopFunc
+	if snap != nil {
+		loop = snap.loop
+	}
 	run, err := indra.RunService(*service, indra.Options{
 		Chip:     &cfg,
 		Requests: *requests,
 		Seed:     uint32(*seed),
 		Scale:    *scale,
 		Attacks:  kinds,
+		RunLoop:  loop,
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *snapOut != "" && snap == nil {
+		writeSnapshotFile(*snapOut, snapshot.Save(run.Chip))
 	}
 
 	if *verbose {
@@ -182,6 +239,16 @@ func main() {
 		fmt.Println()
 	}
 
+	report(run, *verbose)
+	if snap != nil && snap.rewind {
+		snap.replay(*snapOut)
+	}
+	writeObs(col, *metrics, *traceOut)
+}
+
+// report prints the standard post-run summary for a single-service run
+// (boot sequence and observability output are the caller's business).
+func report(run *indra.ServiceRun, verbose bool) {
 	sum := run.Summary
 	fmt.Printf("service %s: %d requests (%d served, %d aborted, %d undelivered)\n",
 		run.Name, sum.Total, sum.Served, sum.Aborted, sum.Undelivered)
@@ -217,15 +284,170 @@ func main() {
 		fmt.Printf("recoveries: %d micro, %d macro, %d liveness kills (%d cycles total)\n",
 			rec.MicroRecoveries, rec.MacroRecoveries, rec.BudgetKills, rec.RecoveryCycles)
 	}
-	printProtection(run.Chip, *verbose)
+	printProtection(run.Chip, verbose)
 
-	if *verbose {
+	if verbose {
 		fmt.Println("\nper-request log:")
 		for _, r := range run.Port.Records() {
 			fmt.Printf("  #%-3d %-12s %-11s rt=%d\n", r.ID, r.Label, r.Outcome, r.ResponseTime())
 		}
 	}
-	writeObs(col, *metrics, *traceOut)
+}
+
+// snapshotter segments a run at a fixed instruction cadence, saving
+// the chip after each segment: to a file (crash-resume) and/or as the
+// in-memory pre-violation image -rewind replays from.
+type snapshotter struct {
+	every  uint64
+	out    string
+	rewind bool
+
+	preViol []byte // latest snapshot taken before any violation
+}
+
+// loop is the indra.RunLoopFunc driving a snapshotted run. The resume
+// harness proves segmenting a run this way leaves output byte-identical
+// to one uninterrupted chip.Run call.
+func (s *snapshotter) loop(ch *chip.Chip, maxInstr uint64) (*chip.Chip, chip.RunResult, error) {
+	if maxInstr == 0 {
+		maxInstr = 1 << 62
+	}
+	var total chip.RunResult
+	var ran uint64
+	for {
+		step := s.every
+		if step > maxInstr-ran {
+			step = maxInstr - ran
+		}
+		res, err := ch.Run(step)
+		total.Instret += res.Instret
+		total.Cycles, total.Violations, total.Halted = res.Cycles, res.Violations, res.Halted
+		ran += res.Instret
+		if err == nil { // every service halted
+			s.checkpoint(ch)
+			return ch, total, nil
+		}
+		if !errors.Is(err, chip.ErrInstrLimit) {
+			return ch, total, err
+		}
+		s.checkpoint(ch)
+		if ran >= maxInstr {
+			return ch, total, err // genuine instruction-budget exhaustion
+		}
+	}
+}
+
+func (s *snapshotter) checkpoint(ch *chip.Chip) {
+	blob := snapshot.Save(ch)
+	if s.rewind && len(ch.Violations()) == 0 {
+		s.preViol = blob
+	}
+	if s.out != "" {
+		writeSnapshotFile(s.out, blob)
+	}
+}
+
+// replay restores the last pre-violation snapshot and re-executes until
+// the monitor fires again, reporting the replay window; with
+// -snapshot-out the pre-violation image is persisted for -snapshot-in
+// iteration (finer -snapshot-every, -v, -metrics, a debugger...).
+func (s *snapshotter) replay(out string) {
+	if s.preViol == nil {
+		fmt.Println("\nrewind: no pre-violation snapshot (first violation predates the first snapshot; lower -snapshot-every)")
+		return
+	}
+	ch, err := snapshot.Load(s.preViol)
+	if err != nil {
+		fatalf("rewind: reload pre-violation snapshot: %v", err)
+	}
+	if len(ch.Violations()) != 0 {
+		fatalf("rewind: pre-violation snapshot already holds violations")
+	}
+	var replayed uint64
+	for {
+		res, err := ch.Run(1_000)
+		replayed += res.Instret
+		if vs := ch.Violations(); len(vs) > 0 {
+			fmt.Printf("\nrewind: violation reproduced %d instructions after the pre-violation snapshot:\n", replayed)
+			for _, v := range vs {
+				fmt.Printf("  %s\n", v)
+			}
+			break
+		}
+		if err == nil {
+			fmt.Printf("\nrewind: replay halted after %d instructions without re-detecting (violation window exceeds one -snapshot-every period?)\n", replayed)
+			break
+		}
+		if !errors.Is(err, chip.ErrInstrLimit) {
+			fatalf("rewind replay: %v", err)
+		}
+	}
+	if out != "" {
+		writeSnapshotFile(out, s.preViol)
+		fmt.Printf("rewind: pre-violation snapshot written to %s (resume it with -snapshot-in)\n", out)
+	}
+}
+
+// resumeFromSnapshot restores a chip (request stream included) from a
+// snapshot file and runs it to completion. An unreadable, corrupt or
+// version-skewed snapshot is a hard error: the decoder's diagnostic is
+// printed and indrasim exits non-zero.
+func resumeFromSnapshot(path string, snap *snapshotter, snapOut string, verbose bool) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("-snapshot-in: %v", err)
+	}
+	ch, err := snapshot.Load(blob)
+	if err != nil {
+		fatalf("-snapshot-in %s: %v", path, err)
+	}
+	port := ch.ActivePort(0)
+	if port == nil {
+		fatalf("-snapshot-in %s: snapshot holds no service on core 0", path)
+	}
+	name := "resumed"
+	if p := ch.Process(0); p != nil {
+		name = p.Name
+	}
+	fmt.Printf("resumed %s from %s (%d bytes)\n", name, path, len(blob))
+
+	var res chip.RunResult
+	if snap != nil {
+		ch, res, err = snap.loop(ch, 0)
+		if p := ch.ActivePort(0); p != nil {
+			port = p
+		}
+	} else {
+		res, err = ch.Run(0)
+	}
+	if err != nil {
+		fatalf("%s resume run: %v", name, err)
+	}
+	if snapOut != "" && snap == nil {
+		writeSnapshotFile(snapOut, snapshot.Save(ch))
+	}
+	report(&indra.ServiceRun{
+		Name:    name,
+		Chip:    ch,
+		Port:    port,
+		Summary: port.Summarize(),
+		Result:  res,
+	}, verbose)
+	if snap != nil && snap.rewind {
+		snap.replay(snapOut)
+	}
+}
+
+// writeSnapshotFile writes atomically (tmp + rename) so a crash mid-
+// write never leaves a torn snapshot where a resumable one stood.
+func writeSnapshotFile(path string, blob []byte) {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		fatalf("write snapshot: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		fatalf("write snapshot: %v", err)
+	}
 }
 
 // writeObs emits the collected metrics and trace after a run; no-op

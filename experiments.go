@@ -50,6 +50,13 @@ type ExpOptions struct {
 	// bypass RunService — Table 3's backup micro-runs, Fig 16's rollback
 	// variant, the fault sweep — are not registered.
 	Obs *obs.Suite
+	// RunLoop, when non-nil, drives every RunService cell in place of
+	// the single chip.Run call (see Options.RunLoop). Cells that bypass
+	// RunService run uninterrupted regardless.
+	RunLoop RunLoopFunc
+	// Warm, when non-nil, boots RunService cells from cached post-boot
+	// snapshots (see Options.Warm). Ignored for cells that attach Obs.
+	Warm *WarmBooter
 }
 
 func (o ExpOptions) fill() ExpOptions {
@@ -66,7 +73,20 @@ func (o ExpOptions) fill() ExpOptions {
 }
 
 func (o ExpOptions) runOpts(cfg chip.Config) Options {
-	return Options{Chip: &cfg, Requests: o.Requests, Scale: o.Scale, Seed: o.Seed, ObsSuite: o.Obs}
+	return Options{Chip: &cfg, Requests: o.Requests, Scale: o.Scale, Seed: o.Seed, ObsSuite: o.Obs, RunLoop: o.RunLoop, Warm: o.Warm}
+}
+
+// drive runs a directly-built chip through the experiment's run loop:
+// the single ch.Run call by default, or o.RunLoop (e.g. segmented
+// snapshot/restore) when set. Callers must read all post-run state —
+// ports, processes, stats — from the returned chip, which may be a
+// revived replacement for the one passed in.
+func (o ExpOptions) drive(ch *chip.Chip, maxInstr uint64) (*chip.Chip, chip.RunResult, error) {
+	if o.RunLoop != nil {
+		return o.RunLoop(ch, maxInstr)
+	}
+	res, err := ch.Run(maxInstr)
+	return ch, res, err
 }
 
 // pool returns the worker pool experiments fan their cells out on.
@@ -594,8 +614,12 @@ func Fig16(o ExpOptions) (*Fig16Result, error) {
 			if _, err := ch.LaunchService(0, c.service, prog, port); err != nil {
 				return 0, err
 			}
-			if _, err := ch.Run(0); err != nil {
+			ch, _, err = o.drive(ch, 0)
+			if err != nil {
 				return 0, err
+			}
+			if p := ch.ActivePort(0); p != nil {
+				port = p
 			}
 			return port.Summarize().MeanRT, nil
 		}
@@ -689,6 +713,8 @@ func Table2(o ExpOptions) (*Table2Result, error) {
 			Attacks:     []attack.Kind{tc.kind},
 			AttackAfter: legit, // exploits arrive after the legit stream
 			ObsSuite:    o.Obs,
+			RunLoop:     o.RunLoop,
+			Warm:        o.Warm,
 		})
 		if err != nil {
 			return Table2Row{}, err
@@ -800,8 +826,12 @@ func Table3(o ExpOptions) (*Table3Result, error) {
 		if _, err := ch.LaunchService(0, service, prog, port); err != nil {
 			return out{}, err
 		}
-		if _, err := ch.Run(0); err != nil {
+		ch, _, err = o.drive(ch, 0)
+		if err != nil {
 			return out{}, err
+		}
+		if p := ch.ActivePort(0); p != nil {
+			port = p
 		}
 		sum := port.Summarize()
 		ov := ch.Process(0).Ckpt.Overhead()

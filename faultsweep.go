@@ -152,10 +152,13 @@ func FaultSweep(o ExpOptions) (*FaultSweepResult, error) {
 		}
 		// Cells are capped so a pathological fault pattern (e.g. a lost
 		// rollback bit leaving a service looping) still yields a row.
-		res, err := ch.Run(50_000_000)
+		ch, res, err := o.drive(ch, 50_000_000)
 		truncated := errors.Is(err, chip.ErrInstrLimit)
 		if err != nil && !truncated {
 			return FaultSweepRow{}, err
+		}
+		if p := ch.ActivePort(0); p != nil {
+			port = p
 		}
 
 		row := FaultSweepRow{

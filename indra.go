@@ -68,7 +68,26 @@ type Options struct {
 	// MetricsEvery snapshots the metrics registry every N executed
 	// instructions (0 = end-of-run snapshot only).
 	MetricsEvery uint64
+	// RunLoop, when non-nil, replaces the single chip.Run call that
+	// drives the booted chip to completion. It may return a different
+	// chip than it was given (one restored from a snapshot); the run's
+	// summary is then read from that chip's port. Observability sinks
+	// are not carried across a snapshot restore, so runs that attach
+	// Obs/ObsSuite should not also segment through snapshots.
+	RunLoop RunLoopFunc
+	// Warm, when non-nil, boots the chip from the booter's cached
+	// post-boot snapshot instead of cold-booting (identical output,
+	// lower wall-clock cost). Ignored when Obs or ObsSuite is set:
+	// observability wiring cannot ride a snapshot.
+	Warm *WarmBooter
 }
+
+// RunLoopFunc drives a booted chip until its services halt. It returns
+// the chip that finished the run — the same one, or a replacement
+// restored from a snapshot — plus the accumulated result: Instret
+// summed across segments; Cycles, Violations and Halted from the final
+// segment (they are absolute chip state, not per-call deltas).
+type RunLoopFunc func(ch *chip.Chip, maxInstr uint64) (*chip.Chip, chip.RunResult, error)
 
 func (o Options) withDefaults() Options {
 	if o.Requests == 0 {
@@ -121,9 +140,49 @@ func RunWorkload(params workload.Params, opts Options) (*ServiceRun, error) {
 	if opts.Scale != 1.0 {
 		params = params.Scale(opts.Scale)
 	}
-	prog, err := params.BuildProgram()
-	if err != nil {
-		return nil, err
+
+	// The chip config is copied before observation is attached: callers
+	// (and the isolated-chip runner) share one *chip.Config across runs,
+	// and each run needs its own per-cell sink.
+	cfg := *opts.Chip
+	if opts.MetricsEvery != 0 {
+		cfg.MetricsEvery = opts.MetricsEvery
+	}
+	if opts.Obs != nil {
+		cfg.Obs = opts.Obs
+	}
+
+	// Boot first (warm from a cached snapshot when possible, cold
+	// otherwise), then enqueue the request stream: the service only
+	// reads its port while running, so a post-launch chip with an empty
+	// port is a valid boot image for any stream.
+	var (
+		prog *asm.Program
+		ch   *chip.Chip
+		port *netsim.Port
+		err  error
+	)
+	if opts.Warm != nil && opts.Obs == nil && opts.ObsSuite == nil {
+		ch, port, prog, err = opts.Warm.boot(params, opts.Scale, cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		prog, err = params.BuildProgram()
+		if err != nil {
+			return nil, err
+		}
+		if opts.ObsSuite != nil {
+			cfg.Obs = opts.ObsSuite.Cell(obsCellKey(params.Name, opts, cfg))
+		}
+		ch, err = chip.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		port = netsim.NewPort(nil)
+		if _, err := ch.LaunchService(0, params.Name, prog, port); err != nil {
+			return nil, err
+		}
 	}
 
 	var reqs []netsim.Request
@@ -149,29 +208,20 @@ func RunWorkload(params workload.Params, opts Options) (*ServiceRun, error) {
 		stream = append(stream, reqs[cut:]...)
 		reqs = stream
 	}
-
-	// The chip config is copied before observation is attached: callers
-	// (and the isolated-chip runner) share one *chip.Config across runs,
-	// and each run needs its own per-cell sink.
-	cfg := *opts.Chip
-	if opts.MetricsEvery != 0 {
-		cfg.MetricsEvery = opts.MetricsEvery
+	port.Enqueue(reqs...)
+	var res chip.RunResult
+	if opts.RunLoop != nil {
+		var final *chip.Chip
+		final, res, err = opts.RunLoop(ch, opts.MaxInstructions)
+		if final != nil {
+			ch = final
+			if p := ch.ActivePort(0); p != nil {
+				port = p
+			}
+		}
+	} else {
+		res, err = ch.Run(opts.MaxInstructions)
 	}
-	if opts.Obs != nil {
-		cfg.Obs = opts.Obs
-	}
-	if opts.ObsSuite != nil {
-		cfg.Obs = opts.ObsSuite.Cell(obsCellKey(params.Name, opts, cfg))
-	}
-	ch, err := chip.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	port := netsim.NewPort(reqs)
-	if _, err := ch.LaunchService(0, params.Name, prog, port); err != nil {
-		return nil, err
-	}
-	res, err := ch.Run(opts.MaxInstructions)
 	if err != nil {
 		return nil, fmt.Errorf("indra: %s run: %w", params.Name, err)
 	}

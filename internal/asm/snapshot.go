@@ -1,0 +1,97 @@
+package asm
+
+import (
+	"sort"
+
+	"indra/internal/snapshot/wire"
+)
+
+// EncodeState writes the full program image, including the symbol
+// tables the monitor's registration consumes. Maps are emitted in
+// sorted key order so encoding is deterministic.
+func (p *Program) EncodeState(w *wire.Writer) {
+	w.Blob(p.Text)
+	w.Blob(p.Data)
+	w.U32(p.TextBase)
+	w.U32(p.DataBase)
+	w.U32(p.Entry)
+
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Len(len(names))
+	for _, n := range names {
+		w.String(n)
+		w.U32(p.Symbols[n])
+	}
+
+	encodeAddrMap(w, p.Funcs)
+	encodeAddrMap(w, p.Exports)
+}
+
+// DecodeProgram reads a program image.
+func DecodeProgram(r *wire.Reader) *Program {
+	p := &Program{
+		Text: r.Blob(),
+		Data: r.Blob(),
+	}
+	p.TextBase = r.U32()
+	p.DataBase = r.U32()
+	p.Entry = r.U32()
+
+	n := r.Len(4 + 4)
+	p.Symbols = make(map[string]uint32, n)
+	prev := ""
+	for i := 0; i < n; i++ {
+		name := r.String()
+		addr := r.U32()
+		if r.Err() != nil {
+			return p
+		}
+		if i > 0 && name <= prev {
+			r.Failf("asm: symbol names out of order at %q", name)
+			return p
+		}
+		prev = name
+		p.Symbols[name] = addr
+	}
+
+	p.Funcs = decodeAddrMap(r)
+	p.Exports = decodeAddrMap(r)
+	return p
+}
+
+func encodeAddrMap(w *wire.Writer, m map[uint32]string) {
+	addrs := make([]uint32, 0, len(m))
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	w.Len(len(addrs))
+	for _, a := range addrs {
+		w.U32(a)
+		w.String(m[a])
+	}
+}
+
+func decodeAddrMap(r *wire.Reader) map[uint32]string {
+	n := r.Len(4 + 4)
+	m := make(map[uint32]string, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		a := r.U32()
+		s := r.String()
+		if r.Err() != nil {
+			return m
+		}
+		if int64(a) <= prev {
+			r.Failf("asm: addresses out of order at %#x", a)
+			return m
+		}
+		prev = int64(a)
+		m[a] = s
+	}
+	return m
+}

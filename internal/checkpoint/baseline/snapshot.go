@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"sort"
+
+	"indra/internal/checkpoint"
+	"indra/internal/snapshot/wire"
+)
+
+func encodeOverhead(w *wire.Writer, ov checkpoint.Overhead) {
+	w.U64(ov.BackupCycles)
+	w.U64(ov.RecoveryCycles)
+	w.U64(ov.BackupOps)
+	w.U64(ov.RecoveryOps)
+}
+
+func decodeOverhead(r *wire.Reader) checkpoint.Overhead {
+	var ov checkpoint.Overhead
+	ov.BackupCycles = r.U64()
+	ov.RecoveryCycles = r.U64()
+	ov.BackupOps = r.U64()
+	ov.RecoveryOps = r.U64()
+	return ov
+}
+
+// EncodeState writes the scheme's GTS, overhead counters and page
+// backups in ascending page order. HardwareVirtualCopy shares this
+// layout through embedding.
+func (s *SoftwarePageCopy) EncodeState(w *wire.Writer) {
+	w.U64(s.gts)
+	encodeOverhead(w, s.ov)
+	pages := make([]uint32, 0, len(s.pages))
+	for p := range s.pages {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	w.Len(len(pages))
+	for _, p := range pages {
+		rec := s.pages[p]
+		w.U32(p)
+		w.U64(rec.lts)
+		w.Bool(rec.stale)
+		w.Blob(rec.backup)
+	}
+}
+
+// DecodeState restores the scheme in place.
+func (s *SoftwarePageCopy) DecodeState(r *wire.Reader) {
+	s.gts = r.U64()
+	s.ov = decodeOverhead(r)
+	n := r.Len(4 + 8 + 1 + 4)
+	s.pages = make(map[uint32]*pageCopyRecord, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		page := r.U32()
+		rec := &pageCopyRecord{}
+		rec.lts = r.U64()
+		rec.stale = r.Bool()
+		rec.backup = r.Blob()
+		if r.Err() != nil {
+			return
+		}
+		if int64(page) <= prev || page&(s.cfg.PageBytes-1) != 0 {
+			r.Failf("baseline: page VAs out of order or unaligned at %#x", page)
+			return
+		}
+		if uint32(len(rec.backup)) != s.cfg.PageBytes {
+			r.Failf("baseline: backup page of %d bytes, want %d", len(rec.backup), s.cfg.PageBytes)
+			return
+		}
+		prev = int64(page)
+		s.pages[page] = rec
+	}
+}
+
+// EncodeState writes the log scheme's overhead counters and the
+// ordered update log.
+func (u *UpdateLog) EncodeState(w *wire.Writer) {
+	encodeOverhead(w, u.ov)
+	w.Len(len(u.log))
+	for _, e := range u.log {
+		w.U32(e.va)
+		w.Raw(e.old[:])
+	}
+}
+
+// DecodeState restores the log scheme in place.
+func (u *UpdateLog) DecodeState(r *wire.Reader) {
+	u.ov = decodeOverhead(r)
+	n := r.Len(4 + wordBytes)
+	u.log = u.log[:0]
+	for i := 0; i < n; i++ {
+		var e logEntry
+		e.va = r.U32()
+		copy(e.old[:], r.Raw(wordBytes))
+		if r.Err() != nil {
+			return
+		}
+		u.log = append(u.log, e)
+	}
+}

@@ -199,6 +199,15 @@ type Chip struct {
 	pstats  ProtectionStats
 	protLog []string
 
+	// Run-loop continuation state, promoted to fields (and serialized)
+	// so that Run(a) followed by Run(b) is equivalent to Run(a+b) — the
+	// property snapshot/resume depends on. lastDrain is each core's
+	// cumulative Instret at its last periodic monitor catch-up;
+	// ranInstret is the chip-lifetime executed-instruction count that
+	// paces MetricsEvery snapshots.
+	lastDrain  []uint64
+	ranInstret uint64
+
 	// Observability: the sink plus cached registry/tracer handles (nil
 	// when disabled) and the chip's event-time metric handles.
 	sink    obs.Sink
@@ -287,18 +296,19 @@ func New(cfg Config) (*Chip, error) {
 		cfg.Obs = obs.Nop()
 	}
 	c := &Chip{
-		cfg:     cfg,
-		phys:    mem.NewPhysical(cfg.PhysMemBytes),
-		mon:     monitor.New(cfg.MonitorCosts),
-		cores:   make([]*cpu.Core, cfg.Resurrectees),
-		queues:  make([]*fifo.Queue, cfg.Resurrectees),
-		slots:   make([]slotState, cfg.Resurrectees),
-		monClks: make([]uint64, cfg.Resurrectors),
-		pending: make([]*monitor.Violation, cfg.Resurrectees),
-		sink:    cfg.Obs,
-		reg:     cfg.Obs.Registry(),
-		tr:      cfg.Obs.Tracer(),
-		obsNext: cfg.MetricsEvery,
+		cfg:       cfg,
+		phys:      mem.NewPhysical(cfg.PhysMemBytes),
+		mon:       monitor.New(cfg.MonitorCosts),
+		cores:     make([]*cpu.Core, cfg.Resurrectees),
+		queues:    make([]*fifo.Queue, cfg.Resurrectees),
+		slots:     make([]slotState, cfg.Resurrectees),
+		monClks:   make([]uint64, cfg.Resurrectors),
+		pending:   make([]*monitor.Violation, cfg.Resurrectees),
+		lastDrain: make([]uint64, cfg.Resurrectees),
+		sink:      cfg.Obs,
+		reg:       cfg.Obs.Registry(),
+		tr:        cfg.Obs.Tracer(),
+		obsNext:   cfg.MetricsEvery,
 	}
 	if cfg.MonitorPolicy != nil {
 		c.mon.Policy = *cfg.MonitorPolicy

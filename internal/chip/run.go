@@ -233,7 +233,6 @@ func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
 	if maxInstr == 0 {
 		maxInstr = 1 << 62
 	}
-	lastDrain := make([]uint64, len(c.cores))
 	for {
 		allHalted := true
 		var executed uint64
@@ -266,9 +265,9 @@ func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
 			// The same point checks the resurrector's heartbeat: a record
 			// sitting unverified past the interval means the monitor
 			// stalled, and the chip escalates on the resurrectee's behalf.
-			if c.cfg.Monitoring && core.Stats().Instret-lastDrain[idx] >= c.cfg.DrainInterval {
+			if c.cfg.Monitoring && core.Stats().Instret-c.lastDrain[idx] >= c.cfg.DrainInterval {
 				c.drainUntil(idx, core.Cycles())
-				lastDrain[idx] = core.Stats().Instret
+				c.lastDrain[idx] = core.Stats().Instret
 				if c.checkHeartbeat(idx, core.Cycles()) {
 					c.escalateStall(idx)
 					if core.Halted() {
@@ -314,8 +313,9 @@ func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
 			}
 		}
 		res.Instret += executed
-		if c.cfg.MetricsEvery > 0 && res.Instret >= c.obsNext {
-			for res.Instret >= c.obsNext {
+		c.ranInstret += executed
+		if c.cfg.MetricsEvery > 0 && c.ranInstret >= c.obsNext {
+			for c.ranInstret >= c.obsNext {
 				c.obsNext += c.cfg.MetricsEvery
 			}
 			var cyc uint64

@@ -1,0 +1,56 @@
+package device
+
+import (
+	"sort"
+
+	"indra/internal/snapshot/wire"
+)
+
+// EncodeState writes the sector store (ascending sector order) and
+// counters. The memory, watchdog and cost wiring are boot-time
+// references owned by the chip.
+func (d *Disk) EncodeState(w *wire.Writer) {
+	keys := make([]uint32, 0, len(d.sectors))
+	for s := range d.sectors {
+		keys = append(keys, s)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Len(len(keys))
+	for _, s := range keys {
+		w.U32(s)
+		w.Raw(d.sectors[s])
+	}
+	w.U64(d.stats.Reads)
+	w.U64(d.stats.Writes)
+	w.U64(d.stats.Sectors)
+	w.U64(d.stats.Rejected)
+	w.U64(d.stats.Cycles)
+}
+
+// DecodeState rebuilds the sector store in place; sector keys must be
+// strictly ascending (canonical form).
+func (d *Disk) DecodeState(r *wire.Reader) {
+	n := r.Len(4 + SectorBytes)
+	d.sectors = make(map[uint32][]byte, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		s := r.U32()
+		b := r.Raw(SectorBytes)
+		if r.Err() != nil {
+			return
+		}
+		if int64(s) <= prev {
+			r.Failf("device: sector keys out of order at %d", s)
+			return
+		}
+		prev = int64(s)
+		buf := make([]byte, SectorBytes)
+		copy(buf, b)
+		d.sectors[s] = buf
+	}
+	d.stats.Reads = r.U64()
+	d.stats.Writes = r.U64()
+	d.stats.Sectors = r.U64()
+	d.stats.Rejected = r.U64()
+	d.stats.Cycles = r.U64()
+}

@@ -1,0 +1,43 @@
+package dram
+
+import "indra/internal/snapshot/wire"
+
+// EncodeState writes the open-row state and counters. The bank count
+// is configuration; it is encoded anyway so a config/state mismatch is
+// a decode error, not silent corruption.
+func (m *Model) EncodeState(w *wire.Writer) {
+	w.Len(len(m.openRow))
+	for _, row := range m.openRow {
+		w.I64(row)
+	}
+	w.U64(m.stats.Accesses)
+	w.U64(m.stats.Hits)
+	w.U64(m.stats.Empties)
+	w.U64(m.stats.Conflicts)
+	w.U64(m.stats.Cycles)
+}
+
+// DecodeState restores open rows and counters in place.
+func (m *Model) DecodeState(r *wire.Reader) {
+	n := r.Len(8)
+	if r.Err() != nil {
+		return
+	}
+	if n != len(m.openRow) {
+		r.Failf("dram: snapshot has %d banks, model has %d", n, len(m.openRow))
+		return
+	}
+	for i := 0; i < n; i++ {
+		row := r.I64()
+		if row < -1 {
+			r.Failf("dram: invalid open row %d", row)
+			return
+		}
+		m.openRow[i] = row
+	}
+	m.stats.Accesses = r.U64()
+	m.stats.Hits = r.U64()
+	m.stats.Empties = r.U64()
+	m.stats.Conflicts = r.U64()
+	m.stats.Cycles = r.U64()
+}

@@ -1,0 +1,28 @@
+package faultinject
+
+import "indra/internal/snapshot/wire"
+
+// EncodeState writes the per-site event ordinals and counters. The
+// plans themselves are configuration (rebuilt from the chip config on
+// restore); the ordinals are what make injection decisions resume
+// exactly where the snapshotted run left off.
+func (in *Injector) EncodeState(w *wire.Writer) {
+	for _, e := range in.events {
+		w.U64(e)
+	}
+	for _, st := range in.stats {
+		w.U64(st.Events)
+		w.U64(st.Hits)
+	}
+}
+
+// DecodeState restores ordinals and counters in place.
+func (in *Injector) DecodeState(r *wire.Reader) {
+	for i := range in.events {
+		in.events[i] = r.U64()
+	}
+	for i := range in.stats {
+		in.stats[i].Events = r.U64()
+		in.stats[i].Hits = r.U64()
+	}
+}

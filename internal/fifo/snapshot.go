@@ -1,0 +1,47 @@
+package fifo
+
+import (
+	"indra/internal/snapshot/wire"
+	"indra/internal/trace"
+)
+
+// EncodeState writes the queued records oldest-first plus counters.
+// The ring's physical layout (head position) is not state: a restored
+// queue re-packs from index zero, which is behaviourally identical.
+func (q *Queue) EncodeState(w *wire.Writer) {
+	w.Len(q.count)
+	for i := 0; i < q.count; i++ {
+		idx := q.head + i
+		if idx >= len(q.buf) {
+			idx -= len(q.buf)
+		}
+		q.buf[idx].EncodeState(w)
+	}
+	w.U64(q.stats.Pushes)
+	w.U64(q.stats.Pops)
+	w.U64(q.stats.FullEvents)
+	w.Int(q.stats.MaxDepth)
+}
+
+// DecodeState restores the queue contents and counters in place. The
+// record count must fit the configured capacity.
+func (q *Queue) DecodeState(r *wire.Reader) {
+	n := r.Len(trace.RecordWireBytes)
+	if r.Err() != nil {
+		return
+	}
+	if n > len(q.buf) {
+		r.Failf("fifo: snapshot has %d records, capacity is %d", n, len(q.buf))
+		return
+	}
+	clear(q.buf)
+	q.head = 0
+	q.count = n
+	for i := 0; i < n; i++ {
+		q.buf[i] = trace.DecodeRecord(r)
+	}
+	q.stats.Pushes = r.U64()
+	q.stats.Pops = r.U64()
+	q.stats.FullEvents = r.U64()
+	q.stats.MaxDepth = r.Int()
+}

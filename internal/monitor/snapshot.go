@@ -1,0 +1,238 @@
+package monitor
+
+import (
+	"sort"
+
+	"indra/internal/snapshot/wire"
+	"indra/internal/trace"
+)
+
+func encodeU32Set(w *wire.Writer, set map[uint32]bool) {
+	keys := make([]uint32, 0, len(set))
+	for k, v := range set {
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Len(len(keys))
+	for _, k := range keys {
+		w.U32(k)
+	}
+}
+
+func decodeU32Set(r *wire.Reader, what string) map[uint32]bool {
+	n := r.Len(4)
+	set := make(map[uint32]bool, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		k := r.U32()
+		if r.Err() != nil {
+			return set
+		}
+		if int64(k) <= prev {
+			r.Failf("monitor: %s out of order at %#x", what, k)
+			return set
+		}
+		prev = int64(k)
+		set[k] = true
+	}
+	return set
+}
+
+// EncodeState writes one application's code identity.
+func (a *AppInfo) EncodeState(w *wire.Writer) {
+	w.Int(a.PID)
+	w.String(a.Name)
+	encodeU32Set(w, a.CodePages)
+	encodeU32Set(w, a.Funcs)
+	encodeU32Set(w, a.Exports)
+	w.Len(len(a.DynCode))
+	for _, reg := range a.DynCode {
+		w.U32(reg.Lo)
+		w.U32(reg.Hi)
+	}
+}
+
+func decodeAppInfo(r *wire.Reader) *AppInfo {
+	a := &AppInfo{}
+	a.PID = r.Int()
+	a.Name = r.String()
+	a.CodePages = decodeU32Set(r, "code pages")
+	a.Funcs = decodeU32Set(r, "function entries")
+	a.Exports = decodeU32Set(r, "exports")
+	n := r.Len(8)
+	for i := 0; i < n; i++ {
+		lo := r.U32()
+		hi := r.U32()
+		a.DynCode = append(a.DynCode, Region{Lo: lo, Hi: hi})
+	}
+	return a
+}
+
+// EncodeState writes a violation record (used by the chip for its
+// pending/violation-log serialization).
+func (v *Violation) EncodeState(w *wire.Writer) {
+	w.U8(uint8(v.Kind))
+	v.Rec.EncodeState(w)
+	w.U32(v.Expected)
+}
+
+// DecodeViolation reads one violation record.
+func DecodeViolation(r *wire.Reader) *Violation {
+	v := &Violation{}
+	k := r.U8()
+	if int(k) > int(UnknownApp) {
+		r.Failf("monitor: unknown violation kind %d", k)
+		return v
+	}
+	v.Kind = ViolationKind(k)
+	v.Rec = trace.DecodeRecord(r)
+	v.Expected = r.U32()
+	return v
+}
+
+// EncodeState writes the monitor's inspection state: registered apps,
+// shadow call stacks, setjmp targets, counters and policy. The
+// one-entry lookup caches are derived state and reset on decode.
+func (m *Monitor) EncodeState(w *wire.Writer) {
+	pids := make([]int, 0, len(m.apps))
+	for pid := range m.apps {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	w.Len(len(pids))
+	for _, pid := range pids {
+		m.apps[pid].EncodeState(w)
+	}
+
+	keys := make([]shadowKey, 0, len(m.shadows))
+	for k := range m.shadows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].core != keys[j].core {
+			return keys[i].core < keys[j].core
+		}
+		return keys[i].pid < keys[j].pid
+	})
+	w.Len(len(keys))
+	for _, k := range keys {
+		w.Int(k.core)
+		w.Int(k.pid)
+		frames := m.shadows[k].frames
+		w.Len(len(frames))
+		for _, f := range frames {
+			w.U32(f.Ret)
+			w.U32(f.SP)
+		}
+	}
+
+	jpids := make([]int, 0, len(m.setjmps))
+	for pid := range m.setjmps {
+		jpids = append(jpids, pid)
+	}
+	sort.Ints(jpids)
+	w.Len(len(jpids))
+	for _, pid := range jpids {
+		w.Int(pid)
+		targets := m.setjmps[pid]
+		w.Len(len(targets))
+		for _, t := range targets {
+			w.U32(t.target)
+			w.U32(t.sp)
+		}
+	}
+
+	for _, v := range m.records {
+		w.U64(v)
+	}
+	w.U64(m.violations)
+	w.U64(m.cycles)
+	w.Bool(m.Policy.CallReturn)
+	w.Bool(m.Policy.CodeOrigin)
+	w.Bool(m.Policy.ControlTransfer)
+	w.Bool(m.Strict)
+}
+
+// DecodeState restores the monitor in place.
+func (m *Monitor) DecodeState(r *wire.Reader) {
+	n := r.Len(8 + 4 + 4*4 + 8)
+	m.apps = make(map[int]*AppInfo, n)
+	prev := -1
+	for i := 0; i < n; i++ {
+		a := decodeAppInfo(r)
+		if r.Err() != nil {
+			return
+		}
+		if a.PID <= prev {
+			r.Failf("monitor: app PIDs out of order at %d", a.PID)
+			return
+		}
+		prev = a.PID
+		m.apps[a.PID] = a
+	}
+
+	n = r.Len(8 + 8 + 4)
+	m.shadows = make(map[shadowKey]*shadowStack, n)
+	prevKey := shadowKey{core: -1, pid: -1}
+	first := true
+	for i := 0; i < n; i++ {
+		key := shadowKey{core: r.Int(), pid: r.Int()}
+		if r.Err() != nil {
+			return
+		}
+		if !first && (key.core < prevKey.core ||
+			(key.core == prevKey.core && key.pid <= prevKey.pid)) {
+			r.Failf("monitor: shadow stacks out of order at core %d pid %d", key.core, key.pid)
+			return
+		}
+		first = false
+		prevKey = key
+		nf := r.Len(4 + 4)
+		s := &shadowStack{frames: make([]Frame, 0, nf)}
+		for j := 0; j < nf; j++ {
+			ret := r.U32()
+			sp := r.U32()
+			s.frames = append(s.frames, Frame{Ret: ret, SP: sp})
+		}
+		m.shadows[key] = s
+	}
+
+	n = r.Len(8 + 4)
+	m.setjmps = make(map[int][]jmpTarget, n)
+	prev = -1
+	for i := 0; i < n; i++ {
+		pid := r.Int()
+		if r.Err() != nil {
+			return
+		}
+		if pid <= prev {
+			r.Failf("monitor: setjmp PIDs out of order at %d", pid)
+			return
+		}
+		prev = pid
+		nt := r.Len(4 + 4)
+		targets := make([]jmpTarget, 0, nt)
+		for j := 0; j < nt; j++ {
+			target := r.U32()
+			sp := r.U32()
+			targets = append(targets, jmpTarget{target: target, sp: sp})
+		}
+		m.setjmps[pid] = targets
+	}
+
+	for i := range m.records {
+		m.records[i] = r.U64()
+	}
+	m.violations = r.U64()
+	m.cycles = r.U64()
+	m.Policy.CallReturn = r.Bool()
+	m.Policy.CodeOrigin = r.Bool()
+	m.Policy.ControlTransfer = r.Bool()
+	m.Strict = r.Bool()
+
+	m.lastApp = nil
+	m.lastStack = nil
+	m.lastKey = shadowKey{}
+}

@@ -1,0 +1,86 @@
+package netsim
+
+import "indra/internal/snapshot/wire"
+
+func encodeRequest(w *wire.Writer, req Request) {
+	w.U64(req.ID)
+	w.Blob(req.Payload)
+	w.String(req.Label)
+}
+
+func decodeRequest(r *wire.Reader) Request {
+	var req Request
+	req.ID = r.U64()
+	req.Payload = r.Blob()
+	req.Label = r.String()
+	return req
+}
+
+// EncodeState writes the port: the scripted queue, delivery cursor and
+// the collector's per-request records in enqueue order.
+func (p *Port) EncodeState(w *wire.Writer) {
+	w.Len(len(p.queue))
+	for _, req := range p.queue {
+		encodeRequest(w, req)
+	}
+	w.Int(p.next)
+	w.Int(p.served)
+	w.Len(len(p.order))
+	for _, id := range p.order {
+		rec := p.records[id]
+		encodeRequest(w, rec.Request)
+		w.U8(uint8(rec.Outcome))
+		w.U64(rec.RecvAt)
+		w.U64(rec.RespondAt)
+		w.Blob(rec.Response)
+		w.Int(rec.ServedNth)
+	}
+}
+
+// DecodeState restores the port in place.
+func (p *Port) DecodeState(r *wire.Reader) {
+	n := r.Len(8 + 4 + 4)
+	p.queue = p.queue[:0]
+	for i := 0; i < n; i++ {
+		p.queue = append(p.queue, decodeRequest(r))
+	}
+	p.next = r.Int()
+	p.served = r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if p.next < 0 || p.next > len(p.queue) {
+		r.Failf("netsim: delivery cursor %d outside queue of %d", p.next, len(p.queue))
+		return
+	}
+	n = r.Len(8 + 4 + 4 + 1 + 8 + 8 + 4 + 8)
+	p.records = make(map[uint64]*RequestRecord, n)
+	p.order = p.order[:0]
+	for i := 0; i < n; i++ {
+		rec := &RequestRecord{}
+		rec.Request = decodeRequest(r)
+		outcome := r.U8()
+		rec.RecvAt = r.U64()
+		rec.RespondAt = r.U64()
+		rec.Response = r.Blob()
+		rec.ServedNth = r.Int()
+		if r.Err() != nil {
+			return
+		}
+		if outcome > uint8(Undelivered) {
+			r.Failf("netsim: unknown outcome %d", outcome)
+			return
+		}
+		rec.Outcome = Outcome(outcome)
+		if rec.Request.ID == 0 {
+			r.Failf("netsim: record with zero request id")
+			return
+		}
+		if _, dup := p.records[rec.Request.ID]; dup {
+			r.Failf("netsim: duplicate request id %d", rec.Request.ID)
+			return
+		}
+		p.records[rec.Request.ID] = rec
+		p.order = append(p.order, rec.Request.ID)
+	}
+}

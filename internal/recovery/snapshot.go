@@ -1,0 +1,175 @@
+package recovery
+
+import (
+	"sort"
+
+	"indra/internal/monitor"
+	"indra/internal/oslite"
+	"indra/internal/snapshot/wire"
+)
+
+func encodeContext(w *wire.Writer, ctx oslite.Context) {
+	for _, reg := range ctx.Regs {
+		w.U32(reg)
+	}
+	w.U32(ctx.PC)
+}
+
+func decodeContext(r *wire.Reader) oslite.Context {
+	var ctx oslite.Context
+	for i := range ctx.Regs {
+		ctx.Regs[i] = r.U32()
+	}
+	ctx.PC = r.U32()
+	return ctx
+}
+
+func encodeResources(w *wire.Writer, res oslite.ResourceSnapshot) {
+	w.Len(len(res.FDs))
+	for _, fd := range res.FDs {
+		w.Int(fd)
+	}
+	w.Int(res.Children)
+	w.U32(res.HeapBrk)
+	w.Int(res.HeapFrames)
+}
+
+func decodeResources(r *wire.Reader) oslite.ResourceSnapshot {
+	var res oslite.ResourceSnapshot
+	n := r.Len(8)
+	for i := 0; i < n; i++ {
+		res.FDs = append(res.FDs, r.Int())
+	}
+	res.Children = r.Int()
+	res.HeapBrk = r.U32()
+	res.HeapFrames = r.Int()
+	return res
+}
+
+func encodeShadow(w *wire.Writer, frames []monitor.Frame) {
+	w.Len(len(frames))
+	for _, f := range frames {
+		w.U32(f.Ret)
+		w.U32(f.SP)
+	}
+}
+
+func decodeShadow(r *wire.Reader) []monitor.Frame {
+	n := r.Len(4 + 4)
+	var frames []monitor.Frame
+	for i := 0; i < n; i++ {
+		ret := r.U32()
+		sp := r.U32()
+		frames = append(frames, monitor.Frame{Ret: ret, SP: sp})
+	}
+	return frames
+}
+
+// EncodeState writes the manager's policy-independent state: counters
+// and every process's micro/macro checkpoints. Config, monitor and the
+// cost function are chip-owned wiring.
+func (m *Manager) EncodeState(w *wire.Writer) {
+	w.U64(m.stats.MicroRecoveries)
+	w.U64(m.stats.MacroRecoveries)
+	w.U64(m.stats.MacroCkpts)
+	w.U64(m.stats.BudgetKills)
+	w.U64(m.stats.RecoveryCycles)
+
+	pids := make([]int, 0, len(m.procs))
+	for pid := range m.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	w.Len(len(pids))
+	for _, pid := range pids {
+		st := m.procs[pid]
+		w.Int(pid)
+
+		encodeContext(w, st.micro.ctx)
+		encodeResources(w, st.micro.resources)
+		encodeShadow(w, st.micro.shadow)
+		w.U64(st.micro.instret)
+		w.Bool(st.micro.valid)
+
+		pages := make([]uint32, 0, len(st.macro.pages))
+		for va := range st.macro.pages {
+			pages = append(pages, va)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		w.Len(len(pages))
+		for _, va := range pages {
+			w.U32(va)
+			w.Raw(st.macro.pages[va])
+		}
+		encodeContext(w, st.macro.ctx)
+		encodeResources(w, st.macro.resources)
+		encodeShadow(w, st.macro.shadow)
+		w.Bool(st.macro.valid)
+
+		w.Bool(st.skipGTS)
+		w.Int(st.consecutiveFails)
+		w.Int(st.sinceMacro)
+		w.U64(st.reqStartInstret)
+	}
+}
+
+// DecodeState restores the manager in place.
+func (m *Manager) DecodeState(r *wire.Reader) {
+	m.stats.MicroRecoveries = r.U64()
+	m.stats.MacroRecoveries = r.U64()
+	m.stats.MacroCkpts = r.U64()
+	m.stats.BudgetKills = r.U64()
+	m.stats.RecoveryCycles = r.U64()
+
+	n := r.Len(8)
+	m.procs = make(map[int]*procState, n)
+	prev := -1
+	for i := 0; i < n; i++ {
+		pid := r.Int()
+		if r.Err() != nil {
+			return
+		}
+		if pid <= prev {
+			r.Failf("recovery: PIDs out of order at %d", pid)
+			return
+		}
+		prev = pid
+		st := &procState{}
+
+		st.micro.ctx = decodeContext(r)
+		st.micro.resources = decodeResources(r)
+		st.micro.shadow = decodeShadow(r)
+		st.micro.instret = r.U64()
+		st.micro.valid = r.Bool()
+
+		np := r.Len(4 + int(oslite.PageBytes))
+		st.macro.pages = make(map[uint32][]byte, np)
+		prevVA := int64(-1)
+		for j := 0; j < np; j++ {
+			va := r.U32()
+			img := r.Raw(int(oslite.PageBytes))
+			if r.Err() != nil {
+				return
+			}
+			if int64(va) <= prevVA || va%oslite.PageBytes != 0 {
+				r.Failf("recovery: macro pages out of order or unaligned at %#x", va)
+				return
+			}
+			prevVA = int64(va)
+			st.macro.pages[va] = append([]byte(nil), img...)
+		}
+		st.macro.ctx = decodeContext(r)
+		st.macro.resources = decodeResources(r)
+		st.macro.shadow = decodeShadow(r)
+		st.macro.valid = r.Bool()
+
+		st.skipGTS = r.Bool()
+		st.consecutiveFails = r.Int()
+		st.sinceMacro = r.Int()
+		st.reqStartInstret = r.U64()
+		if r.Err() != nil {
+			return
+		}
+		m.procs[pid] = st
+	}
+}

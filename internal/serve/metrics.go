@@ -18,6 +18,10 @@ type metrics struct {
 	rejected   *obs.Counter // 429s (admission queue full)
 	deadlines  *obs.Counter // 504s (deadline expired before a result)
 
+	warmHits      *obs.Counter // chips stamped from a warm-boot snapshot
+	warmMiss      *obs.Counter // first-run cold boots that primed the booter
+	warmFallbacks *obs.Counter // cold boots forced by a snapshot load failure
+
 	queueDepth  *obs.Gauge     // admitted cells (executing + waiting), with high-water
 	httpLatency *obs.Histogram // per-HTTP-request latency, µs
 	cellLatency *obs.Histogram // per-cell latency incl. cache/queue, µs
@@ -26,20 +30,23 @@ type metrics struct {
 
 func newMetrics(r *obs.Registry) metrics {
 	return metrics{
-		httpRequests: r.Counter("serve.http.requests"),
-		http2xx:      r.Counter("serve.http.2xx"),
-		http4xx:      r.Counter("serve.http.4xx"),
-		http5xx:      r.Counter("serve.http.5xx"),
-		cells:        r.Counter("serve.cells"),
-		executions:   r.Counter("serve.executions"),
-		cacheHits:    r.Counter("serve.cache.hits"),
-		cacheMiss:    r.Counter("serve.cache.misses"),
-		rejected:     r.Counter("serve.rejected"),
-		deadlines:    r.Counter("serve.deadlines"),
-		queueDepth:   r.Gauge("serve.queue.depth"),
-		httpLatency:  r.Histogram("serve.http.latency_us"),
-		cellLatency:  r.Histogram("serve.cell.latency_us"),
-		execLatency:  r.Histogram("serve.exec.latency_us"),
+		httpRequests:  r.Counter("serve.http.requests"),
+		http2xx:       r.Counter("serve.http.2xx"),
+		http4xx:       r.Counter("serve.http.4xx"),
+		http5xx:       r.Counter("serve.http.5xx"),
+		cells:         r.Counter("serve.cells"),
+		executions:    r.Counter("serve.executions"),
+		cacheHits:     r.Counter("serve.cache.hits"),
+		cacheMiss:     r.Counter("serve.cache.misses"),
+		rejected:      r.Counter("serve.rejected"),
+		deadlines:     r.Counter("serve.deadlines"),
+		warmHits:      r.Counter("serve.warmboot.hits"),
+		warmMiss:      r.Counter("serve.warmboot.misses"),
+		warmFallbacks: r.Counter("serve.warmboot.fallbacks"),
+		queueDepth:    r.Gauge("serve.queue.depth"),
+		httpLatency:   r.Histogram("serve.http.latency_us"),
+		cellLatency:   r.Histogram("serve.cell.latency_us"),
+		execLatency:   r.Histogram("serve.exec.latency_us"),
 	}
 }
 

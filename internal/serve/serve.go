@@ -72,8 +72,18 @@ type Config struct {
 	MaxBatch int
 	// Reg receives the server's metrics (nil creates a fresh registry).
 	Reg *obs.Registry
+	// Warm is the warm-boot snapshot cache cells are stamped out of on
+	// cache misses (nil creates one unless DisableWarmBoot is set).
+	// Warm and cold boots produce byte-identical output; the fallback
+	// path (a snapshot that fails to load cold-boots instead) is
+	// counted in serve.warmboot.fallbacks.
+	Warm *indra.WarmBooter
+	// DisableWarmBoot forces every cell execution to cold-boot its
+	// chips (benchmark baseline; also the implicit mode when Runner is
+	// injected without a booter).
+	DisableWarmBoot bool
 	// Runner executes one cell (nil selects indra.RunCell with
-	// CellWorkers). Tests inject stubs here.
+	// CellWorkers and the warm booter). Tests inject stubs here.
 	Runner func(indra.CellKey) (string, error)
 }
 
@@ -111,10 +121,16 @@ func (c Config) withDefaults() Config {
 	if c.Reg == nil {
 		c.Reg = obs.NewRegistry()
 	}
+	if c.Warm == nil && !c.DisableWarmBoot {
+		c.Warm = indra.NewWarmBooter()
+	}
+	if c.DisableWarmBoot {
+		c.Warm = nil
+	}
 	if c.Runner == nil {
-		inner := c.CellWorkers
+		inner, warm := c.CellWorkers, c.Warm
 		c.Runner = func(k indra.CellKey) (string, error) {
-			return indra.RunCell(k, indra.ExpOptions{Workers: inner})
+			return indra.RunCell(k, indra.ExpOptions{Workers: inner, Warm: warm})
 		}
 	}
 	return c
@@ -146,6 +162,11 @@ func New(cfg Config) *Server {
 	}
 	s.cache = newResultCache(cfg.CacheShards, cfg.CacheEntries, s.m.cacheHits, s.m.cacheMiss)
 	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth, s.m.queueDepth)
+	if cfg.Warm != nil {
+		cfg.Warm.OnHit = s.m.warmHits.Inc
+		cfg.Warm.OnMiss = s.m.warmMiss.Inc
+		cfg.Warm.OnFallback = s.m.warmFallbacks.Inc
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.http = &http.Server{Handler: s.mux}

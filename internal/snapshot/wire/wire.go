@@ -1,0 +1,250 @@
+// Package wire is the low-level codec for chip snapshots: a strict,
+// deterministic, length-prefixed binary format.
+//
+// The writer is append-only and infallible. The reader is
+// error-latching: the first structural problem (underflow, bad bool,
+// oversized count) records an error and every subsequent read returns
+// zero values, so decoders can run straight-line without per-field
+// error plumbing and check Err once at the end. The reader never
+// panics and never allocates more than the input could possibly
+// describe — collection counts are validated against the bytes
+// actually remaining before any allocation (Len), which is what makes
+// the decoder safe to fuzz with adversarial inputs.
+//
+// All integers are little-endian and fixed-width. There is no
+// reflection and no implicit framing: every slice and string is
+// preceded by an explicit length, and the envelope owner calls Close
+// to reject trailing bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates an encoded snapshot. The zero value is ready to
+// use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded bytes accumulated so far.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends a little-endian two's-complement int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool appends 1 or 0.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 appends an IEEE-754 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Len appends a collection count (uint32). Counts above MaxUint32 do
+// not occur in practice (the simulator's state is far smaller); panic
+// rather than truncate if one ever does.
+func (w *Writer) Len(n int) {
+	if n < 0 || int64(n) > math.MaxUint32 {
+		panic(fmt.Sprintf("wire: collection length %d out of range", n))
+	}
+	w.U32(uint32(n))
+}
+
+// Blob appends a length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.Len(len(b))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Len(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends bytes with no length prefix, for fixed-size blocks whose
+// length both sides know (pages, sectors).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader decodes a snapshot produced by Writer. The first structural
+// error latches; all later reads return zero values.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps b for decoding. The reader does not copy b; Blob and
+// String return fresh copies, so callers may reuse b afterwards.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the latched decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Failf latches a decode error (first one wins). Decoders use it to
+// report semantic mismatches — wrong magic, impossible counts —
+// through the same channel as structural ones.
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// take consumes n bytes or latches an underflow error.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.Failf("wire: truncated input: need %d bytes at offset %d, have %d", n, r.off, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int encoded by Writer.Int. Values outside the platform
+// int range latch an error.
+func (r *Reader) Int() int {
+	v := r.I64()
+	if int64(int(v)) != v {
+		r.Failf("wire: int %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a strict boolean: any byte other than 0 or 1 is an error,
+// so single-bit corruption in flag fields is detected, not absorbed.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Failf("wire: invalid bool byte at offset %d", r.off-1)
+		return false
+	}
+}
+
+// F64 reads an IEEE-754 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Len reads a collection count and validates it against the input
+// actually remaining: a count of n elements, each at least elemMin
+// bytes on the wire, cannot exceed Remaining()/elemMin. This bounds
+// every allocation by the input size, so truncated or bit-flipped
+// counts error out instead of attempting a huge make().
+func (r *Reader) Len(elemMin int) int {
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemMin) > int64(r.Remaining()) {
+		r.Failf("wire: count %d (min %d bytes each) exceeds %d remaining bytes", n, elemMin, r.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// Blob reads a length-prefixed byte slice as a fresh copy (nil for an
+// empty blob, so nil-ness round-trips through len==0).
+func (r *Reader) Blob() []byte {
+	n := r.Len(1)
+	if n == 0 {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len(1)
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Raw reads n bytes with no length prefix and returns them as a view
+// into the input (nil after an error). Callers that retain the bytes
+// must copy; copy-into-place decoders may use the view directly.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// Close verifies the reader consumed the input exactly: it returns the
+// latched error if any, and otherwise rejects trailing bytes. Every
+// snapshot decode ends with Close so a partially understood input can
+// never be mistaken for a valid one.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after decode", n)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(0xAB)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 | 12345)
+	w.I64(-42)
+	w.Int(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.25)
+	w.Blob([]byte{1, 2, 3})
+	w.Blob(nil)
+	w.String("indra")
+	w.Len(9)
+	for i := 0; i < 9; i++ {
+		w.U8(byte(i))
+	}
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63|12345 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.F64(); got != 3.25 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Blob(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := r.Blob(); got != nil {
+		t.Errorf("empty Blob = %v, want nil", got)
+	}
+	if got := r.String(); got != "indra" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Len(1); got != 9 {
+		t.Errorf("Len = %d", got)
+	}
+	for i := 0; i < 9; i++ {
+		if got := r.U8(); got != byte(i) {
+			t.Errorf("elem %d = %d", i, got)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.U64(7)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		if r.Err() == nil {
+			t.Fatalf("cut=%d: no error on truncated input", cut)
+		}
+	}
+}
+
+func TestErrorLatches(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U32() // underflow
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected underflow error")
+	}
+	r.Failf("second error")
+	if r.Err() != first {
+		t.Error("later error replaced the latched one")
+	}
+	if got := r.U64(); got != 0 {
+		t.Errorf("read after error = %d, want 0", got)
+	}
+}
+
+func TestBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "bool") {
+		t.Fatalf("Bool(2) err = %v", r.Err())
+	}
+}
+
+func TestLenBoundsAllocation(t *testing.T) {
+	// A count claiming 4 billion elements of >=8 bytes each must be
+	// rejected against a tiny remaining input, before any allocation.
+	var w Writer
+	w.U32(0xFFFF_FFFF)
+	r := NewReader(w.Bytes())
+	if n := r.Len(8); n != 0 || r.Err() == nil {
+		t.Fatalf("Len = %d, err = %v; want 0 and error", n, r.Err())
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	var w Writer
+	w.U8(1)
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	r.U8()
+	if err := r.Close(); err == nil {
+		t.Fatal("Close accepted trailing bytes")
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import "indra/internal/snapshot/wire"
+
+// EncodeState writes the record in snapshot wire format (42 bytes).
+func (rec Record) EncodeState(w *wire.Writer) {
+	w.U8(uint8(rec.Kind))
+	w.Int(rec.Core)
+	w.Int(rec.PID)
+	w.U32(rec.PC)
+	w.U32(rec.Target)
+	w.U32(rec.Ret)
+	w.U32(rec.SP)
+	w.Bool(rec.Indirect)
+	w.U64(rec.EnqueuedAt)
+}
+
+// RecordWireBytes is the fixed encoded size of one Record, for
+// collection-count bounds checks.
+const RecordWireBytes = 1 + 8 + 8 + 4*4 + 1 + 8
+
+// DecodeRecord reads one record, validating the kind tag.
+func DecodeRecord(r *wire.Reader) Record {
+	var rec Record
+	k := r.U8()
+	if int(k) >= NumKinds {
+		r.Failf("trace: invalid record kind %d", k)
+		return rec
+	}
+	rec.Kind = Kind(k)
+	rec.Core = r.Int()
+	rec.PID = r.Int()
+	rec.PC = r.U32()
+	rec.Target = r.U32()
+	rec.Ret = r.U32()
+	rec.SP = r.U32()
+	rec.Indirect = r.Bool()
+	rec.EnqueuedAt = r.U64()
+	return rec
+}

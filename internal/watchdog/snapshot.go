@@ -1,0 +1,30 @@
+package watchdog
+
+import "indra/internal/snapshot/wire"
+
+// EncodeState writes the watchdog's counters. The partition
+// programming is boot-time configuration, reconstructed by the chip's
+// boot sequence before restore.
+func (w *Watchdog) EncodeState(enc *wire.Writer) {
+	enc.U64(w.checks)
+	enc.U64(w.violations)
+}
+
+// DecodeState restores the counters in place.
+func (w *Watchdog) DecodeState(r *wire.Reader) {
+	w.checks = r.U64()
+	w.violations = r.U64()
+}
+
+// EncodeState writes the heartbeat's mutable state (the interval is
+// configuration).
+func (h *Heartbeat) EncodeState(w *wire.Writer) {
+	w.U64(h.last)
+	w.U64(h.misses)
+}
+
+// DecodeState restores the heartbeat in place.
+func (h *Heartbeat) DecodeState(r *wire.Reader) {
+	h.last = r.U64()
+	h.misses = r.U64()
+}

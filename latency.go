@@ -53,6 +53,8 @@ func DetectionLatency(o ExpOptions) (*LatencyResult, error) {
 			Seed:        o.Seed,
 			Attacks:     []attack.Kind{kind},
 			AttackAfter: 2,
+			RunLoop:     o.RunLoop,
+			Warm:        o.Warm,
 		})
 		if err != nil {
 			return out{}, err

@@ -1,0 +1,95 @@
+package indra
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"indra/internal/chip"
+)
+
+// TestResumerCrashResume simulates a killed experiment run: the first
+// attempt dies mid-run (instruction cap standing in for the crash),
+// leaving a progress file; the second attempt must resume from it and
+// finish with results identical to an uninterrupted run.
+func TestResumerCrashResume(t *testing.T) {
+	cold, err := RunService("bind", Options{Requests: 3})
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	dir := t.TempDir()
+	r := &Resumer{Dir: dir, Every: 20_000}
+
+	_, err = RunService("bind", Options{Requests: 3, MaxInstructions: 30_000, RunLoop: r.RunLoop})
+	if !errors.Is(err, chip.ErrInstrLimit) {
+		t.Fatalf("crashed run: err = %v, want instruction limit", err)
+	}
+	progress, _ := filepath.Glob(filepath.Join(dir, "*.resume"))
+	if len(progress) != 1 {
+		t.Fatalf("progress files after crash = %d, want 1", len(progress))
+	}
+	if st := r.Stats(); st.Resumed != 0 || st.Saved == 0 {
+		t.Fatalf("crash stats = %+v, want 0 resumed, >0 saved", st)
+	}
+
+	run, err := RunService("bind", Options{Requests: 3, RunLoop: r.RunLoop})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if st := r.Stats(); st.Resumed != 1 {
+		t.Fatalf("Resumed = %d, want 1 (run restarted cold instead of resuming)", st.Resumed)
+	}
+	if run.Summary != cold.Summary {
+		t.Errorf("resumed summary diverged: got %+v want %+v", run.Summary, cold.Summary)
+	}
+	if run.Result != cold.Result {
+		t.Errorf("resumed result diverged: got %+v want %+v (Instret must include pre-crash work)", run.Result, cold.Result)
+	}
+	if progress, _ = filepath.Glob(filepath.Join(dir, "*.resume")); len(progress) != 0 {
+		t.Errorf("progress file not removed after completion: %v", progress)
+	}
+}
+
+// TestResumerIgnoresTornProgress checks a corrupt progress file is not
+// trusted: the run restarts from zero and still finishes correctly.
+func TestResumerIgnoresTornProgress(t *testing.T) {
+	cold, err := RunService("bind", Options{Requests: 3})
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	dir := t.TempDir()
+	r := &Resumer{Dir: dir, Every: 20_000}
+	if _, err := RunService("bind", Options{Requests: 3, MaxInstructions: 30_000, RunLoop: r.RunLoop}); !errors.Is(err, chip.ErrInstrLimit) {
+		t.Fatalf("crashed run: err = %v", err)
+	}
+	progress, _ := filepath.Glob(filepath.Join(dir, "*.resume"))
+	if len(progress) != 1 {
+		t.Fatalf("progress files = %d, want 1", len(progress))
+	}
+	truncateFile(t, progress[0])
+
+	run, err := RunService("bind", Options{Requests: 3, RunLoop: r.RunLoop})
+	if err != nil {
+		t.Fatalf("rerun over torn progress: %v", err)
+	}
+	if st := r.Stats(); st.Resumed != 0 {
+		t.Errorf("Resumed = %d, want 0 (torn file must not be trusted)", st.Resumed)
+	}
+	if run.Summary != cold.Summary || run.Result != cold.Result {
+		t.Errorf("restarted run diverged from cold run")
+	}
+}
+
+func truncateFile(t *testing.T, path string) {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

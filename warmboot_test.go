@@ -1,0 +1,102 @@
+package indra
+
+import (
+	"reflect"
+	"testing"
+
+	"indra/internal/attack"
+)
+
+// warmRun executes one bind service run, optionally through a warm
+// booter, and returns the pieces the equivalence checks compare.
+func warmRun(t *testing.T, w *WarmBooter) *ServiceRun {
+	t.Helper()
+	run, err := RunService("bind", Options{
+		Requests: 3,
+		Seed:     1,
+		Attacks:  []attack.Kind{attack.StackSmash},
+		Warm:     w,
+	})
+	if err != nil {
+		t.Fatalf("RunService: %v", err)
+	}
+	return run
+}
+
+// TestWarmBootEquivalence is the core warm-start guarantee: a chip
+// stamped out of the booter's post-boot snapshot produces output
+// byte-identical to a cold boot, and repeat boots hit the cache.
+func TestWarmBootEquivalence(t *testing.T) {
+	cold := warmRun(t, nil)
+
+	w := NewWarmBooter()
+	first := warmRun(t, w)  // miss: primes the cache
+	second := warmRun(t, w) // hit: stamped from the snapshot
+
+	for name, run := range map[string]*ServiceRun{"miss": first, "hit": second} {
+		if run.Summary != cold.Summary {
+			t.Errorf("%s summary diverged: got %+v want %+v", name, run.Summary, cold.Summary)
+		}
+		if !reflect.DeepEqual(run.Port.Records(), cold.Port.Records()) {
+			t.Errorf("%s request records diverged from cold boot", name)
+		}
+		if run.Result != cold.Result {
+			t.Errorf("%s run result diverged: got %+v want %+v", name, run.Result, cold.Result)
+		}
+	}
+
+	st := w.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Fallbacks != 0 {
+		t.Errorf("stats = %+v, want {Hits:1 Misses:1 Fallbacks:0}", st)
+	}
+	if w.Entries() != 1 {
+		t.Errorf("Entries() = %d, want 1", w.Entries())
+	}
+}
+
+// TestWarmBootFallback corrupts every cached snapshot and checks the
+// booter falls back to a cold boot — counted, correct, and re-primed.
+func TestWarmBootFallback(t *testing.T) {
+	cold := warmRun(t, nil)
+
+	w := NewWarmBooter()
+	warmRun(t, w) // prime
+	if n := w.CorruptForTest(); n != 1 {
+		t.Fatalf("CorruptForTest() = %d entries, want 1", n)
+	}
+
+	run := warmRun(t, w)
+	if run.Summary != cold.Summary {
+		t.Errorf("fallback summary diverged: got %+v want %+v", run.Summary, cold.Summary)
+	}
+	st := w.Stats()
+	if st.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", st.Fallbacks)
+	}
+
+	// The fallback re-primed the cache: the next boot is a hit again.
+	warmRun(t, w)
+	if st = w.Stats(); st.Hits != 1 {
+		t.Errorf("post-fallback Hits = %d, want 1", st.Hits)
+	}
+}
+
+// TestWarmBootKeyedByConfig checks distinct chip configs do not share
+// warm images.
+func TestWarmBootKeyedByConfig(t *testing.T) {
+	w := NewWarmBooter()
+	warmRun(t, w)
+
+	cfg := DefaultChipConfig()
+	cfg.FIFOEntries = 8
+	if _, err := RunService("bind", Options{Chip: &cfg, Requests: 3, Seed: 1, Warm: w}); err != nil {
+		t.Fatalf("RunService: %v", err)
+	}
+	if w.Entries() != 2 {
+		t.Errorf("Entries() = %d, want 2 (configs must not share images)", w.Entries())
+	}
+	st := w.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses, 0 hits", st)
+	}
+}
