@@ -15,6 +15,9 @@ func TestCellKeyRoundTrip(t *testing.T) {
 		{Experiment: "table4", Requests: 1, Scale: 1, Seed: 42},
 		{Experiment: "ablation-bpred", Requests: 8, Scale: 2.5, Seed: 7},
 		{Experiment: "faultsweep", Requests: 64, Scale: 0.125, Seed: 4294967295},
+		{Experiment: "fleet", Requests: 3, Scale: 1, Seed: 1, Policy: "tmr", Nodes: 5},
+		{Experiment: "fleet", Requests: 3, Scale: 1, Seed: 1, Policy: "dos-resurrector"},
+		{Experiment: "fleet", Requests: 8, Scale: 1, Seed: 2, Nodes: 64},
 	}
 	for _, k := range cases {
 		s := k.String()
@@ -71,6 +74,13 @@ func TestParseCellKeyRejects(t *testing.T) {
 		"fig9/seed=4294967296",  // overflows uint32
 		"fig9/workers=4",        // scheduling knobs are not part of the key
 		"fig9/req=1/unknown=et", // unknown field
+		"fleet/policy=",         // empty policy
+		"fleet/policy=TMR",      // uppercase policy
+		"fleet/policy=tmr2",     // digits are not policy characters
+		"fleet/nodes=0",         // below the 1..64 range
+		"fleet/nodes=65",        // above the 1..64 range
+		"fleet/nodes=-3",        // negative nodes
+		"fleet/nodes=three",     // non-numeric nodes
 	}
 	for _, s := range bad {
 		if k, err := ParseCellKey(s); err == nil {
@@ -125,6 +135,9 @@ func FuzzParseCellKey(f *testing.F) {
 	f.Add("fig9/req=2/scale=0.125/seed=4294967295")
 	f.Add("fig9/scale=2.5e-3")
 	f.Add("x/req=+07")
+	f.Add("fleet/policy=tmr/nodes=5")
+	f.Add("fleet/req=1/policy=reactive")
+	f.Add("fleet/nodes=64/seed=9")
 	f.Fuzz(func(t *testing.T, s string) {
 		k, err := ParseCellKey(s)
 		if err != nil {

@@ -50,13 +50,20 @@ type ExpOptions struct {
 	// bypass RunService — Table 3's backup micro-runs, Fig 16's rollback
 	// variant, the fault sweep — are not registered.
 	Obs *obs.Suite
-	// RunLoop, when non-nil, drives every RunService cell in place of
-	// the single chip.Run call (see Options.RunLoop). Cells that bypass
-	// RunService run uninterrupted regardless.
+	// RunLoop, when non-nil, drives every RunService cell — and every
+	// fleet node-round — in place of the single chip.Run call (see
+	// Options.RunLoop). Cells that bypass RunService run uninterrupted
+	// regardless.
 	RunLoop RunLoopFunc
 	// Warm, when non-nil, boots RunService cells from cached post-boot
 	// snapshots (see Options.Warm). Ignored for cells that attach Obs.
 	Warm *WarmBooter
+	// FleetPolicy restricts the fleet experiment to one recovery policy
+	// ("" runs all of FleetPolicies). Other experiments ignore it.
+	FleetPolicy string
+	// FleetNodes is the fleet experiment's cluster size (0 selects 3).
+	// Other experiments ignore it.
+	FleetNodes int
 }
 
 func (o ExpOptions) fill() ExpOptions {
@@ -920,21 +927,35 @@ type CellKey struct {
 	Scale float64
 	// Seed is the request-stream seed.
 	Seed uint32
+	// Policy pins the fleet experiment's recovery policy ("" = all;
+	// only the fleet experiment reads it, but the axis is generic).
+	Policy string
+	// Nodes pins the fleet experiment's cluster size (0 = default).
+	Nodes int
 }
 
-// String renders the canonical key, e.g. "fig9/req=3/scale=1/seed=1".
-// The format is a fixed field order with %g floats (shortest exact
-// representation), so String is a fixed point: ParseCellKey(k.String())
-// returns k, and k.String() == ParseCellKey(k.String()).String().
+// String renders the canonical key, e.g. "fig9/req=3/scale=1/seed=1"
+// or "fleet/req=3/scale=1/seed=1/policy=tmr/nodes=5" — the optional
+// fleet axes appear only when set. The format is a fixed field order
+// with %g floats (shortest exact representation), so String is a fixed
+// point: ParseCellKey(k.String()) returns k, and
+// k.String() == ParseCellKey(k.String()).String().
 func (k CellKey) String() string {
-	return fmt.Sprintf("%s/req=%d/scale=%g/seed=%d", k.Experiment, k.Requests, k.Scale, k.Seed)
+	s := fmt.Sprintf("%s/req=%d/scale=%g/seed=%d", k.Experiment, k.Requests, k.Scale, k.Seed)
+	if k.Policy != "" {
+		s += "/policy=" + k.Policy
+	}
+	if k.Nodes != 0 {
+		s += fmt.Sprintf("/nodes=%d", k.Nodes)
+	}
+	return s
 }
 
 // Options returns the experiment options the key pins. The caller
 // supplies scheduling knobs (Workers, Meter, Obs) separately — they do
 // not change the output and are not part of the key.
 func (k CellKey) Options() ExpOptions {
-	return ExpOptions{Requests: k.Requests, Scale: k.Scale, Seed: k.Seed}
+	return ExpOptions{Requests: k.Requests, Scale: k.Scale, Seed: k.Seed, FleetPolicy: k.Policy, FleetNodes: k.Nodes}
 }
 
 // ParseCellKey parses a canonical cell key. The experiment id comes
@@ -981,6 +1002,22 @@ func ParseCellKey(s string) (CellKey, error) {
 				return CellKey{}, fmt.Errorf("cell key %q: seed must be a positive 32-bit integer", s)
 			}
 			k.Seed = uint32(n)
+		case "policy":
+			if val == "" {
+				return CellKey{}, fmt.Errorf("cell key %q: policy must not be empty", s)
+			}
+			for _, r := range val {
+				if (r < 'a' || r > 'z') && r != '-' {
+					return CellKey{}, fmt.Errorf("cell key %q: policy may contain only [a-z-]", s)
+				}
+			}
+			k.Policy = val
+		case "nodes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 || n > 64 {
+				return CellKey{}, fmt.Errorf("cell key %q: nodes must be an integer in 1..64", s)
+			}
+			k.Nodes = n
 		default:
 			return CellKey{}, fmt.Errorf("cell key %q: unknown field %q", s, fname)
 		}
@@ -1031,6 +1068,7 @@ func experimentList() []experiment {
 		{"latency", formatted(DetectionLatency)},
 		{"ablation-bpred", formatted(AblationBPred)},
 		{"faultsweep", formatted(FaultSweep)},
+		{"fleet", formatted(Fleet)},
 	}
 }
 
@@ -1072,6 +1110,7 @@ func RunExperiment(id string, o ExpOptions) (string, error) {
 // come from the key, so equal keys always produce equal bytes.
 func RunCell(k CellKey, o ExpOptions) (string, error) {
 	o.Requests, o.Scale, o.Seed = k.Requests, k.Scale, k.Seed
+	o.FleetPolicy, o.FleetNodes = k.Policy, k.Nodes
 	return RunExperiment(k.Experiment, o)
 }
 

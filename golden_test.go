@@ -62,6 +62,7 @@ func goldenCases() []goldenCase {
 		{"availability", fmtExp(Availability)},
 		{"latency", fmtExp(DetectionLatency)},
 		{"faultsweep", fmtExp(FaultSweep)},
+		{"fleet", fmtExp(Fleet)},
 	}
 }
 

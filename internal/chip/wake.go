@@ -1,0 +1,33 @@
+package chip
+
+// Wake re-enters slot idx's active process at pc after its request
+// stream drained — the "new connections arrived" edge a long-lived
+// server sees. A drained service sits exactly where SysRecv left it:
+// process and core halted, no request in flight. Waking it resets the
+// PC to the request-loop entry (the caller resolves the symbol from
+// the program image) and resumes the core, so the next Run picks up
+// whatever the port has queued since.
+//
+// Wake refuses slots that are out of range, empty, degraded (a
+// fail-closed core must stay down), not halted (the slot is still
+// serving), or halted mid-request (a crashed or unrecoverably
+// compromised process is not revived by more traffic). Returns whether
+// the slot was woken.
+func (c *Chip) Wake(idx int, pc uint32) bool {
+	if idx < 0 || idx >= len(c.cores) {
+		return false
+	}
+	st := &c.slots[idx]
+	p := st.activeProc()
+	if p == nil || st.degraded {
+		return false
+	}
+	core := c.cores[idx]
+	if !core.Halted() || !p.Halted || p.CurrentReq != 0 {
+		return false
+	}
+	p.Halted = false
+	core.SetPC(pc)
+	core.SetHalted(false)
+	return true
+}

@@ -1,0 +1,110 @@
+package chip
+
+import (
+	"testing"
+
+	"indra/internal/netsim"
+	"indra/internal/workload"
+)
+
+// A drained service must be revivable: enqueue → run → drain → enqueue
+// more → Wake → run serves the second batch with the same process
+// state (no respawn, no reboot charge).
+func TestWakeServesSecondBatch(t *testing.T) {
+	params := workload.MustByName("httpd")
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort(nil)
+	if _, err := c.LaunchService(0, "httpd", prog, port); err != nil {
+		t.Fatal(err)
+	}
+	loop, ok := prog.Symbols["main_loop"]
+	if !ok {
+		t.Fatal("program lacks main_loop symbol")
+	}
+	reqs := params.GenRequests(4, 1)
+
+	port.Enqueue(reqs[0], reqs[1])
+	res, err := c.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || port.Summarize().Served != 2 {
+		t.Fatalf("first batch: halted=%v summary=%+v", res.Halted, port.Summarize())
+	}
+
+	// The drained slot refuses nothing but an out-of-range index yet;
+	// a second batch plus a Wake resumes it.
+	if c.Wake(7, loop) {
+		t.Fatal("woke a slot that does not exist")
+	}
+	port.Enqueue(reqs[2], reqs[3])
+	if !c.Wake(0, loop) {
+		t.Fatal("drained slot refused to wake")
+	}
+	// Waking an already-running slot is a no-op.
+	if c.Wake(0, loop) {
+		t.Fatal("woke a slot that is already running")
+	}
+	res, err = c.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || port.Summarize().Served != 4 {
+		t.Fatalf("second batch: halted=%v summary=%+v", res.Halted, port.Summarize())
+	}
+	if res.Violations != 0 {
+		t.Fatalf("legit traffic raised %d violations", res.Violations)
+	}
+}
+
+// A slot halted mid-request (unrecoverable compromise, crash without a
+// checkpoint) must refuse to wake: more traffic does not revive a dead
+// process.
+func TestWakeRefusesDeadSlot(t *testing.T) {
+	params := workload.MustByName("bind")
+	prog, err := params.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeNone // no checkpoint: a crash is unrecoverable
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := netsim.NewPort(nil)
+	if _, err := c.LaunchService(0, "bind", prog, port); err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Symbols["main_loop"]
+
+	crash := params.GenRequests(1, 1)[0]
+	crash.Payload = append([]byte(nil), crash.Payload...)
+	crash.Payload[workload.OffOpcode] = byte(workload.HDoS)
+	putMagic(crash.Payload, workload.MagicCrash)
+	port.Enqueue(crash)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Process(0); p == nil || !p.Halted || p.CurrentReq == 0 {
+		t.Fatalf("crash did not leave the slot halted mid-request: %+v", p)
+	}
+	port.Enqueue(params.GenRequests(2, 2)...)
+	if c.Wake(0, loop) {
+		t.Fatal("woke a slot whose process died mid-request")
+	}
+}
+
+// putMagic writes the DoS handler's magic word into a request body.
+func putMagic(p []byte, magic uint32) {
+	for i := 0; i < 4; i++ {
+		p[workload.OffBody+i] = byte(magic >> (8 * i))
+	}
+}

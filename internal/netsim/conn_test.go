@@ -31,6 +31,102 @@ func TestConnStates(t *testing.T) {
 	}
 }
 
+// A zero-capacity port — no scripted requests at all — must behave as
+// a served-out server, not a special case: no deliveries, no drops,
+// empty counts.
+func TestEmptyPortEdges(t *testing.T) {
+	p := NewPort(nil)
+	if _, ok := p.Recv(0); ok {
+		t.Fatal("Recv on an empty port delivered")
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", p.Remaining())
+	}
+	if n := p.DropNext(5, 0); n != 0 {
+		t.Fatalf("DropNext on empty port dropped %d", n)
+	}
+	if counts := p.ConnCounts(); len(counts) != 0 {
+		t.Fatalf("empty port conn counts %v", counts)
+	}
+	if s := p.Summarize(); s != (Summary{}) {
+		t.Fatalf("empty port summary %+v", s)
+	}
+}
+
+// DropNext asked for more than the backlog drops only what exists, and
+// already-delivered requests are never touched.
+func TestDropNextOverrun(t *testing.T) {
+	p := NewPort([]Request{
+		{Payload: []byte("a")}, {Payload: []byte("b")}, {Payload: []byte("c")},
+	})
+	r, _ := p.Recv(10)
+	p.Send(r.ID, nil, 20)
+	if n := p.DropNext(99, 30); n != 2 {
+		t.Fatalf("DropNext(99) dropped %d, want 2", n)
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after overrun drop", p.Remaining())
+	}
+	rec, _ := p.Record(r.ID)
+	if rec.Outcome != Served {
+		t.Fatal("drop clobbered a served request")
+	}
+	if n := p.DropNext(1, 40); n != 0 {
+		t.Fatalf("drained DropNext dropped %d", n)
+	}
+	s := p.Summarize()
+	if s.Served != 1 || s.Aborted != 2 || s.Undelivered != 0 {
+		t.Fatalf("summary after overrun drop %+v", s)
+	}
+}
+
+// A request still pending when the run ends — connection accepted,
+// response never sent — is an open connection and an unserved request;
+// a later abort resets it.
+func TestCloseWithPendingRequest(t *testing.T) {
+	p := NewPort([]Request{{Payload: []byte("a")}})
+	r, _ := p.Recv(10)
+	rec, _ := p.Record(r.ID)
+	if rec.Conn() != ConnOpen {
+		t.Fatalf("pending request's conn = %v, want open", rec.Conn())
+	}
+	s := p.Summarize()
+	if s.Served != 0 || s.Undelivered != 1 {
+		t.Fatalf("pending request summary %+v", s)
+	}
+	p.Abort(r.ID, 20)
+	if rec.Conn() != ConnReset {
+		t.Fatalf("aborted pending conn = %v, want reset", rec.Conn())
+	}
+}
+
+// Both enums' String methods are exhaustive over the defined values and
+// fall back (rather than panic) on corrupt ones.
+func TestEnumStringExhaustive(t *testing.T) {
+	wantOutcomes := map[Outcome]string{
+		Pending: "pending", Served: "served", Aborted: "aborted", Undelivered: "undelivered",
+	}
+	for o, want := range wantOutcomes {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if Outcome(99).String() != "outcome?" {
+		t.Errorf("corrupt outcome prints %q", Outcome(99).String())
+	}
+	wantConns := map[ConnState]string{
+		ConnIdle: "idle", ConnOpen: "open", ConnClosed: "closed", ConnReset: "reset",
+	}
+	for s, want := range wantConns {
+		if s.String() != want {
+			t.Errorf("ConnState(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if ConnState(99).String() != "conn?" {
+		t.Errorf("corrupt conn state prints %q", ConnState(99).String())
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	p := NewPort([]Request{
 		{Payload: []byte("a")}, {Payload: []byte("b")},

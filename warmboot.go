@@ -2,6 +2,7 @@ package indra
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -43,8 +44,8 @@ type WarmBooter struct {
 }
 
 type warmEntry struct {
-	prog *asm.Program
-	blob []byte
+	progs []*asm.Program // one per launched slot
+	blob  []byte
 }
 
 // warmEntryCap bounds the cache. The experiment registry needs on the
@@ -89,7 +90,7 @@ func (w *WarmBooter) CorruptForTest() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for k, e := range w.entries {
-		w.entries[k] = warmEntry{prog: e.prog, blob: append([]byte(nil), e.blob[:len(e.blob)/2]...)}
+		w.entries[k] = warmEntry{progs: e.progs, blob: append([]byte(nil), e.blob[:len(e.blob)/2]...)}
 	}
 	return len(w.entries)
 }
@@ -120,7 +121,7 @@ func (w *WarmBooter) boot(params workload.Params, scale float64, cfg chip.Config
 				if w.OnHit != nil {
 					w.OnHit()
 				}
-				return ch, port, e.prog, nil
+				return ch, port, e.progs[0], nil
 			}
 			err = fmt.Errorf("indra: warm snapshot for %s restored without an active port", params.Name)
 		}
@@ -136,7 +137,10 @@ func (w *WarmBooter) boot(params workload.Params, scale float64, cfg chip.Config
 		}
 	}
 
-	prog := e.prog
+	var prog *asm.Program
+	if len(e.progs) > 0 {
+		prog = e.progs[0]
+	}
 	if prog == nil {
 		var err error
 		prog, err = params.BuildProgram()
@@ -157,7 +161,95 @@ func (w *WarmBooter) boot(params workload.Params, scale float64, cfg chip.Config
 	if len(w.entries) >= warmEntryCap {
 		w.entries = make(map[string]warmEntry)
 	}
-	w.entries[key] = warmEntry{prog: prog, blob: snapshot.Save(ch)}
+	w.entries[key] = warmEntry{progs: []*asm.Program{prog}, blob: snapshot.Save(ch)}
 	w.mu.Unlock()
 	return ch, port, prog, nil
+}
+
+// BootNode boots a multi-service chip — names[i] served on resurrectee
+// slot i — restored from the cached post-boot snapshot when one exists,
+// cold-booted (and the snapshot cached) otherwise. This is the fleet
+// layer's node factory: a fleet of M identical nodes costs one cold
+// boot plus M-1 warm stamps, and every proactive-rejuvenation reboot
+// after the first cycle is a warm stamp too. The returned ports are
+// empty; the caller routes its request streams onto them.
+func (w *WarmBooter) BootNode(names []string, scale float64, cfg chip.Config) (*chip.Chip, []*netsim.Port, []*asm.Program, error) {
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("indra: BootNode needs at least one service")
+	}
+	if cfg.Resurrectees < len(names) {
+		return nil, nil, nil, fmt.Errorf("indra: BootNode: %d services need %d resurrectee slots, config has %d",
+			len(names), len(names), cfg.Resurrectees)
+	}
+	key := fmt.Sprintf("node:%s|%g|%s", strings.Join(names, ","), scale, snapshot.ConfigBytes(cfg))
+	w.mu.Lock()
+	e, ok := w.entries[key]
+	w.mu.Unlock()
+
+	if ok {
+		ch, err := snapshot.Load(e.blob)
+		if err == nil {
+			ports := make([]*netsim.Port, len(names))
+			good := true
+			for i := range names {
+				if ports[i] = ch.ActivePort(i); ports[i] == nil {
+					good = false
+					break
+				}
+			}
+			if good {
+				w.hits.Add(1)
+				if w.OnHit != nil {
+					w.OnHit()
+				}
+				return ch, ports, e.progs, nil
+			}
+			err = fmt.Errorf("indra: warm node snapshot restored without all %d ports", len(names))
+		}
+		_ = err // the fallback below overwrites the bad entry
+		w.fallbacks.Add(1)
+		if w.OnFallback != nil {
+			w.OnFallback()
+		}
+	} else {
+		w.misses.Add(1)
+		if w.OnMiss != nil {
+			w.OnMiss()
+		}
+	}
+
+	progs := e.progs
+	if len(progs) != len(names) {
+		progs = make([]*asm.Program, len(names))
+		for i, name := range names {
+			params := workload.MustByName(name)
+			if scale != 1.0 {
+				params = params.Scale(scale)
+			}
+			p, err := params.BuildProgram()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			progs[i] = p
+		}
+	}
+	ch, err := chip.New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ports := make([]*netsim.Port, len(names))
+	for i, name := range names {
+		ports[i] = netsim.NewPort(nil)
+		if _, err := ch.LaunchService(i, name, progs[i], ports[i]); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	w.mu.Lock()
+	if len(w.entries) >= warmEntryCap {
+		w.entries = make(map[string]warmEntry)
+	}
+	w.entries[key] = warmEntry{progs: progs, blob: snapshot.Save(ch)}
+	w.mu.Unlock()
+	return ch, ports, progs, nil
 }

@@ -4,7 +4,11 @@ import (
 	"reflect"
 	"testing"
 
+	"indra/internal/asm"
 	"indra/internal/attack"
+	"indra/internal/chip"
+	"indra/internal/netsim"
+	"indra/internal/workload"
 )
 
 // warmRun executes one bind service run, optionally through a warm
@@ -98,5 +102,68 @@ func TestWarmBootKeyedByConfig(t *testing.T) {
 	st := w.Stats()
 	if st.Misses != 2 || st.Hits != 0 {
 		t.Errorf("stats = %+v, want 2 misses, 0 hits", st)
+	}
+}
+
+// BootNode must stamp identical multi-service nodes out of one cached
+// snapshot: the first boot is a miss, every further boot of the same
+// platform is a hit, and warm nodes serve byte-identically to cold
+// ones.
+func TestWarmBootNode(t *testing.T) {
+	names := workload.Names()
+	cfg := chip.DefaultConfig()
+	cfg.Resurrectees = len(names)
+
+	serve := func(ch *chip.Chip, ports []*netsim.Port, progs []*asm.Program) []netsim.Summary {
+		t.Helper()
+		for s, port := range ports {
+			params := workload.MustByName(names[s])
+			port.Enqueue(params.GenRequests(2, 1)...)
+			if pc, ok := progs[s].Symbols["main_loop"]; ok {
+				ch.Wake(s, pc)
+			}
+		}
+		if _, err := ch.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]netsim.Summary, len(ports))
+		for s, port := range ports {
+			out[s] = port.Summarize()
+		}
+		return out
+	}
+
+	w := NewWarmBooter()
+	ch1, ports1, progs1, err := w.BootNode(names, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, ports2, progs2, err := w.BootNode(names, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+
+	cold := serve(ch1, ports1, progs1)
+	warm := serve(ch2, ports2, progs2)
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm node diverges from cold:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	for s := range cold {
+		if cold[s].Served != 2 {
+			t.Fatalf("service %s served %d of 2", names[s], cold[s].Served)
+		}
+	}
+
+	// Slot-count mismatches are rejected up front.
+	bad := chip.DefaultConfig() // 1 resurrectee
+	if _, _, _, err := w.BootNode(names, 1.0, bad); err == nil {
+		t.Fatal("BootNode accepted more services than slots")
+	}
+	if _, _, _, err := w.BootNode(nil, 1.0, cfg); err == nil {
+		t.Fatal("BootNode accepted an empty service list")
 	}
 }
