@@ -64,6 +64,7 @@ func AblationLineSize(o ExpOptions) (*AblationLineResult, error) {
 		if err != nil {
 			return out{}, err
 		}
+		defer run.Release()
 		if lb == 0 {
 			return out{meanRT: run.Summary.MeanRT}, nil
 		}
@@ -127,6 +128,7 @@ func AblationCAM(o ExpOptions) (*AblationCAMResult, error) {
 		if err != nil {
 			return AblationCAMRow{}, err
 		}
+		defer run.Release()
 		cs := run.Chip.Core(0).Stats()
 		row := AblationCAMRow{Entries: size}
 		if cs.IL1Fills > 0 {
@@ -192,6 +194,7 @@ func AblationMonitorSpeed(o ExpOptions) (*AblationMonitorResult, error) {
 		if err != nil {
 			return 0, err
 		}
+		run.Release()
 		return run.Summary.MeanRT, nil
 	})
 	if err != nil {
@@ -273,7 +276,9 @@ func AblationRollback(o ExpOptions) (*AblationRollbackResult, error) {
 			return 0, 0, err
 		}
 		eng := ch.Process(0).Ckpt.(*checkpoint.Engine)
-		return result.Cycles, eng.Stats().LineRestores, nil
+		ops := eng.Stats().LineRestores
+		ch.Release()
+		return result.Cycles, ops, nil
 	}
 
 	type out struct{ cycles, ops uint64 }
@@ -324,6 +329,7 @@ func AblationSpace(o ExpOptions) (*AblationSpaceResult, error) {
 		if err != nil {
 			return AblationSpaceRow{}, err
 		}
+		defer run.Release()
 		eng := run.Process().Ckpt.(*checkpoint.Engine)
 		tracked := eng.TrackedPages()
 		mapped := run.Process().AS.Pages()
@@ -394,9 +400,12 @@ func AblationResurrectors(o ExpOptions) (*AblationResurrectorsResult, error) {
 				return 0, err
 			}
 		}
-		_, res, err := o.drive(ch, 0)
+		final, res, err := o.drive(ch, 0)
 		if err != nil {
 			return 0, err
+		}
+		if final != nil {
+			final.Release()
 		}
 		return res.Cycles, nil
 	}
@@ -448,6 +457,7 @@ func AblationBPred(o ExpOptions) (*AblationBPredResult, error) {
 		if err != nil {
 			return AblationBPredRow{}, err
 		}
+		defer run.Release()
 		cs := run.Chip.Core(0).Stats()
 		return AblationBPredRow{
 			Entries:     entries,

@@ -1,0 +1,47 @@
+package indra
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"indra/internal/isa/difftest"
+)
+
+// TestDifferentialBlockVsScalar replays every golden experiment cell
+// under the block-vs-scalar differential harness: each cell's chip
+// runs on the basic-block engine while a scalar twin revived from the
+// same snapshot replays every segment, with architectural state
+// compared at each boundary (internal/isa/difftest). The cell outputs
+// must still match the committed goldens byte for byte, proving the
+// harness itself is observationally invisible.
+//
+// On a divergence the harness error names the first mismatching state
+// and, when DIFFTEST_ARTIFACT_DIR is set (the CI differential job
+// sets it), writes the decoded block and a scalar reference trace for
+// post-mortem.
+func TestDifferentialBlockVsScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential replay of the full golden suite is not short")
+	}
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", tc.name+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden (generate with TestGoldenDeterminism -update-golden): %v", err)
+			}
+			o := goldenOpts
+			o.Workers = 1 // cells parallelize across subtests instead
+			o.RunLoop = difftest.Loop(difftest.Config{Name: tc.name})
+			got, err := tc.run(o)
+			if err != nil {
+				t.Fatalf("differential run: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("differential run output diverges from golden %s.golden\n--- differential ---\n%s--- golden ---\n%s",
+					tc.name, got, want)
+			}
+		})
+	}
+}

@@ -132,6 +132,7 @@ func Fig9(o ExpOptions) (*Fig9Result, error) {
 		if err != nil {
 			return Fig9Row{}, err
 		}
+		defer run.Release()
 		st := run.Chip.Core(0).Hierarchy().L1I().Stats()
 		return Fig9Row{Service: name, MissPct: st.MissRate() * 100, IL1Fills: st.Fills}, nil
 	})
@@ -198,6 +199,7 @@ func Fig10(o ExpOptions) (*Fig10Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer run.Release()
 		cs := run.Chip.Core(0).Stats()
 		if cs.IL1Fills == 0 {
 			return 0, nil
@@ -268,6 +270,7 @@ func Fig11(o ExpOptions) (*Fig11Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		run.Release()
 		return run.Summary.MeanRT, nil
 	})
 	if err != nil {
@@ -337,6 +340,7 @@ func Fig12(o ExpOptions) (*Fig12Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		run.Release()
 		return run.Summary.MeanRT, nil
 	})
 	if err != nil {
@@ -393,6 +397,7 @@ func Fig13(o ExpOptions) (*Fig13Result, error) {
 		if err != nil {
 			return Fig13Row{}, err
 		}
+		defer run.Release()
 		per := float64(run.Chip.Core(0).Stats().Instret) / float64(run.Summary.Served)
 		return Fig13Row{
 			Service:      name,
@@ -457,6 +462,7 @@ func Fig14(o ExpOptions) (*Fig14Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		run.Release()
 		return run.Summary.MeanRT, nil
 	})
 	if err != nil {
@@ -509,6 +515,7 @@ func Fig15(o ExpOptions) (*Fig15Result, error) {
 		if err != nil {
 			return Fig15Row{}, err
 		}
+		defer run.Release()
 		eng, ok := run.Process().Ckpt.(*checkpoint.Engine)
 		if !ok {
 			return Fig15Row{}, fmt.Errorf("fig15: %s not running the delta engine", name)
@@ -590,12 +597,14 @@ func Fig16(o ExpOptions) (*Fig16Result, error) {
 			if err != nil {
 				return 0, err
 			}
+			run.Release()
 			return run.Summary.MeanRT, nil
 		case vMonitorBackup:
 			run, err := RunService(c.service, o.runOpts(chip.DefaultConfig()))
 			if err != nil {
 				return 0, err
 			}
+			run.Release()
 			return run.Summary.MeanRT, nil
 		default:
 			// Rollback every other request: interleave a crash attack
@@ -628,6 +637,7 @@ func Fig16(o ExpOptions) (*Fig16Result, error) {
 			if p := ch.ActivePort(0); p != nil {
 				port = p
 			}
+			ch.Release()
 			return port.Summarize().MeanRT, nil
 		}
 	})
@@ -726,6 +736,7 @@ func Table2(o ExpOptions) (*Table2Result, error) {
 		if err != nil {
 			return Table2Row{}, err
 		}
+		defer run.Release()
 		row := Table2Row{Attack: tc.kind, Policy: tc.label}
 		if vs := run.Violations(); len(vs) > 0 {
 			row.Detected = true
@@ -808,6 +819,7 @@ func Table3(o ExpOptions) (*Table3Result, error) {
 			if err != nil {
 				return out{}, err
 			}
+			base.Release()
 			return out{meanRT: base.Summary.MeanRT}, nil
 		}
 		params := workload.MustByName(service)
@@ -851,6 +863,7 @@ func Table3(o ExpOptions) (*Table3Result, error) {
 			row.RecoveryCycles = ov.RecoveryCycles / uint64(sum.Aborted)
 			row.RecoveryOps = ov.RecoveryOps / uint64(sum.Aborted)
 		}
+		ch.Release()
 		return out{row: row, meanRT: sum.MeanRT}, nil
 	})
 	if err != nil {

@@ -139,6 +139,14 @@ type Config struct {
 	// MetricsEvery takes a registry snapshot every N executed
 	// instructions during Run (0 = only the end-of-run snapshot).
 	MetricsEvery uint64
+
+	// ScalarDispatch forces per-instruction stepping even on chips the
+	// block-threaded executor could drive (exactly one resurrectee).
+	// Host-side execution strategy, not platform configuration: it is
+	// excluded from snapshot identity (ConfigBytes), and either setting
+	// produces byte-identical simulations — the differential harness
+	// pins that.
+	ScalarDispatch bool
 }
 
 // DefaultConfig mirrors the paper's evaluation platform: a dual-core
@@ -431,8 +439,34 @@ func (c *Chip) Recovery() *recovery.Manager { return c.rec }
 // Watchdog exposes the memory watchdog.
 func (c *Chip) Watchdog() *watchdog.Watchdog { return c.wd }
 
+// SetScalarDispatch flips the execution strategy of an already-built
+// chip — the differential harness restores a snapshot into a twin and
+// forces it onto the per-instruction path. Only meaningful between Run
+// calls; either setting produces byte-identical simulations.
+func (c *Chip) SetScalarDispatch(v bool) { c.cfg.ScalarDispatch = v }
+
+// Release returns the chip's physical-memory buffers to the shared
+// pool for the next chip to reuse. Call it only when the chip is dead
+// for good — after the final counter read of an experiment cell, or on
+// the pre-restore chip once a snapshot Load has replaced it. The chip
+// must not run or be inspected afterwards; memory accesses panic. A
+// chip that is simply dropped without Release is still recycled by the
+// GC cleanup, just later.
+func (c *Chip) Release() { c.phys.Release() }
+
 // Core returns resurrectee core i (0-based among resurrectees).
 func (c *Chip) Core(i int) *cpu.Core { return c.cores[i] }
+
+// CoreCount returns the number of resurrectee cores.
+func (c *Chip) CoreCount() int { return len(c.cores) }
+
+// MemVersionDigest hashes the physical memory's page-version array (a
+// cheap content proxy) and MemDigest the full written image; both back
+// the block-vs-scalar differential harness.
+func (c *Chip) MemVersionDigest() uint64 { return c.phys.VersionDigest() }
+
+// MemDigest hashes the full architectural memory image.
+func (c *Chip) MemDigest() uint64 { return c.phys.Digest() }
 
 // Queue returns resurrectee core i's trace FIFO.
 func (c *Chip) Queue(i int) *fifo.Queue { return c.queues[i] }
@@ -604,6 +638,10 @@ func (e *coreEnv) Syscall(core *cpu.Core, num int) (uint64, error) {
 
 func (e *coreEnv) EmitTrace(rec trace.Record) uint64 {
 	return e.chip.emitTrace(e.idx, rec)
+}
+
+func (e *coreEnv) PendingViolation() bool {
+	return e.chip.pending[e.idx] != nil
 }
 
 func (e *coreEnv) PreLoad(va uint32) uint64 {

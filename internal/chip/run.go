@@ -229,6 +229,9 @@ var ErrInstrLimit = errors.New("chip: instruction limit reached")
 // detections trigger recovery in-line, exactly as the resurrector's
 // stall/recover/resume control would.
 func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
+	if len(c.cores) == 1 && !c.cfg.ScalarDispatch {
+		return c.runThreaded(maxInstr)
+	}
 	var res RunResult
 	if maxInstr == 0 {
 		maxInstr = 1 << 62
@@ -329,6 +332,144 @@ func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
 		if allHalted {
 			res.Halted = true
 			break
+		}
+		if res.Instret >= maxInstr {
+			c.finishAccounting(&res)
+			return res, ErrInstrLimit
+		}
+	}
+	c.finishAccounting(&res)
+	return res, nil
+}
+
+// runThreaded drives a single-resurrectee chip through the core's
+// block-threaded executor. It is observationally identical to the
+// scalar loop above: every condition that loop checks after each
+// instruction is folded into a visit budget, so a visit can never run
+// *past* a boundary the scalar loop would have acted on — it can only
+// stop early (fault, halt, syscall, or an emission that flagged a
+// pending violation), after which the same post-step sequence runs at
+// the same instruction boundary. Multi-resurrectee chips stay on the
+// scalar loop: their cores interleave round-robin through shared DRAM
+// open-row state and the resurrector clocks, an ordering blocks would
+// perturb.
+func (c *Chip) runThreaded(maxInstr uint64) (RunResult, error) {
+	var res RunResult
+	if maxInstr == 0 {
+		maxInstr = 1 << 62
+	}
+	const idx = 0
+	core := c.cores[idx]
+	for {
+		if c.slots[idx].activeProc() == nil {
+			res.Halted = true
+			break
+		}
+		if core.Halted() {
+			if p := c.slots[idx].activeProc(); !p.Halted {
+				p.Halted = true
+			}
+			if !c.switchProcess(idx) {
+				res.Halted = true
+				break
+			}
+		}
+		c.activeIdx = idx
+		p := c.slots[idx].activeProc()
+
+		// Fold every post-step trigger into the visit budget: the visit
+		// must end at (or before) the first instruction whose post-step
+		// check could fire. Each term is clamped to at least 1 so a
+		// boundary already reached executes one instruction and then
+		// takes its check, exactly as the scalar loop would.
+		budget := maxInstr - res.Instret
+		if c.cfg.Monitoring {
+			t := uint64(1)
+			if delta := core.Stats().Instret - c.lastDrain[idx]; delta < c.cfg.DrainInterval {
+				t = c.cfg.DrainInterval - delta
+			}
+			if t < budget {
+				budget = t
+			}
+		}
+		if stop, ok := c.rec.BudgetStop(p); ok {
+			t := uint64(1)
+			if instret := core.Stats().Instret; stop > instret {
+				t = stop - instret
+			}
+			if t < budget {
+				budget = t
+			}
+		}
+		if c.cfg.MetricsEvery > 0 {
+			t := uint64(1)
+			if c.obsNext > c.ranInstret {
+				t = c.obsNext - c.ranInstret
+			}
+			if t < budget {
+				budget = t
+			}
+		}
+
+		executed, err := core.RunBlocks(budget)
+
+		// The scalar loop's heartbeat escalation `continue`s past the
+		// halted-core drain and the recovery switch; skipChecks is that
+		// continue.
+		skipChecks := false
+		if c.cfg.Monitoring && core.Stats().Instret-c.lastDrain[idx] >= c.cfg.DrainInterval {
+			c.drainUntil(idx, core.Cycles())
+			c.lastDrain[idx] = core.Stats().Instret
+			if c.checkHeartbeat(idx, core.Cycles()) {
+				c.escalateStall(idx)
+				if core.Halted() {
+					skipChecks = true
+				}
+			}
+		}
+
+		if !skipChecks {
+			if c.cfg.Monitoring && core.Halted() {
+				for {
+					head, ok := c.queues[idx].Pop()
+					if !ok {
+						break
+					}
+					c.verifyAt(idx, head)
+				}
+			}
+
+			switch {
+			case err != nil:
+				if !c.canRecover(p) {
+					// The scalar loop returns before counting the faulting
+					// attempt; the attempts retired earlier in this visit
+					// were its fully-accounted previous rounds.
+					res.Instret += executed - 1
+					c.ranInstret += executed - 1
+					return res, fmt.Errorf("chip: unrecoverable fault (scheme=%v): %w", c.cfg.Scheme, err)
+				}
+				c.recoverSlot(idx, err)
+			case c.pending[idx] != nil:
+				c.recoverSlot(idx, c.pending[idx])
+			case core.Halted() && p.CurrentReq != 0 && !p.Halted:
+				if c.canRecover(p) {
+					c.recoverSlot(idx, fmt.Errorf("halt during request"))
+				}
+			case c.rec.OverBudget(p, core):
+				c.recoverSlot(idx, fmt.Errorf("instruction budget exceeded"))
+			case c.slots[idx].switchReq && !core.Halted():
+				c.switchProcess(idx)
+			}
+		}
+
+		res.Instret += executed
+		c.ranInstret += executed
+		if c.cfg.MetricsEvery > 0 && c.ranInstret >= c.obsNext {
+			for c.ranInstret >= c.obsNext {
+				c.obsNext += c.cfg.MetricsEvery
+			}
+			c.obsSnapshot(core.Cycles())
 		}
 		if res.Instret >= maxInstr {
 			c.finishAccounting(&res)

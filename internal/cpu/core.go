@@ -71,6 +71,11 @@ type Environment interface {
 	// EmitTrace pushes a record toward the resurrector, returning the
 	// stall cycles suffered if the FIFO was full.
 	EmitTrace(rec trace.Record) (stall uint64)
+	// PendingViolation reports whether a record this core emitted has
+	// been verified as a violation that is awaiting recovery. The block
+	// executor checks it after every EmitTrace so a detection stops
+	// execution at exactly the instruction the per-step loop would.
+	PendingViolation() bool
 	// PreLoad/PreStore are the delta-checkpoint hardware hooks.
 	PreLoad(va uint32) uint64
 	PreStore(va uint32) uint64
@@ -114,6 +119,16 @@ type Core struct {
 	stats  Stats
 	dec    predecoder
 
+	// blocks is the basic-block cache built over the predecoder (see
+	// block.go); emitted flags that the last executed instruction pushed
+	// a trace record, so the block executor knows when to poll the
+	// environment for a pending violation. bscratch is buildBlock's
+	// reusable staging slice — blocks are appended there and copied out
+	// at exact size, so steady-state block building never regrows.
+	blocks   map[uint32]*basicBlock
+	emitted  bool
+	bscratch []blockOp
+
 	bpred      *BPred
 	mispredict uint64 // penalty cycles per wrong prediction
 }
@@ -155,6 +170,7 @@ func New(cfg Config) *Core {
 		mispredict: penalty,
 		env:        cfg.Env,
 		dec:        newPredecoder(),
+		blocks:     make(map[uint32]*basicBlock),
 	}
 }
 
@@ -258,6 +274,36 @@ func (c *Core) Restore(ctx oslite.Context, flushCaches bool) {
 
 const pageMask = oslite.PageBytes - 1
 
+// emit pushes a trace record through the environment, charging any
+// full-FIFO stall, and flags the emission so the block executor knows
+// to poll for a pending violation before running further.
+func (c *Core) emit(rec trace.Record) {
+	c.emitted = true
+	c.traceStall(c.env.EmitTrace(rec))
+}
+
+// fetchAt runs the fetch timing model below the TLB for the
+// instruction at (pc, pa): the IL1 access and the code-origin tap on
+// fills. Both the scalar fetch path and the block executor go through
+// it, so IL1 counters and origin records stay identical between modes.
+func (c *Core) fetchAt(pc, pa uint32) {
+	ev := c.hier.Fetch(pa)
+	c.stats.Cycles += ev.Cycles
+	if ev.L1Miss {
+		c.stats.IL1Fills++
+		// Code-origin tap: the IL1 fill is checked against the CAM of
+		// recently verified code pages; misses go to the resurrector.
+		page := pc &^ uint32(pageMask)
+		if !c.cam.Lookup(page) {
+			c.stats.OriginChecks++
+			c.emit(trace.Record{
+				Kind: trace.KindCodeOrigin, Core: c.ID, PID: c.pid,
+				PC: pc, Target: page,
+			})
+		}
+	}
+}
+
 // fetch translates and fetches the instruction at pc, running the
 // code-origin tap on IL1 fills. The returned instruction comes from
 // the predecode cache: the timing model (TLB, IL1, origin tap) runs on
@@ -273,21 +319,7 @@ func (c *Core) fetch() (*isa.Predecoded, error) {
 	if err := c.wd.Check(c.ID, pa, watchdog.Execute); err != nil {
 		return nil, &Fault{Kind: FaultWatchdog, PC: pc, Addr: pa, Err: err}
 	}
-	ev := c.hier.Fetch(pa)
-	c.stats.Cycles += ev.Cycles
-	if ev.L1Miss {
-		c.stats.IL1Fills++
-		// Code-origin tap: the IL1 fill is checked against the CAM of
-		// recently verified code pages; misses go to the resurrector.
-		page := pc &^ uint32(pageMask)
-		if !c.cam.Lookup(page) {
-			c.stats.OriginChecks++
-			c.traceStall(c.env.EmitTrace(trace.Record{
-				Kind: trace.KindCodeOrigin, Core: c.ID, PID: c.pid,
-				PC: pc, Target: page,
-			}))
-		}
-	}
+	c.fetchAt(pc, pa)
 	return c.dec.entry(c.phys, pa), nil
 }
 
@@ -332,6 +364,14 @@ func (c *Core) Step() error {
 	if err != nil {
 		return err
 	}
+	return c.execOne(in)
+}
+
+// execOne executes the already-fetched instruction in: validity check,
+// retirement accounting, dispatch, and the PC update. It is the single
+// dispatch body shared by Step and the block executor, so the two
+// execution modes cannot drift.
+func (c *Core) execOne(in *isa.Predecoded) error {
 	if !in.Valid {
 		return &Fault{Kind: FaultIllegalInst, PC: c.pc, Err: fmt.Errorf("opcode %d", uint8(in.Op))}
 	}
@@ -459,10 +499,10 @@ func (c *Core) Step() error {
 		if in.Rd != isa.R0 {
 			c.stats.Calls++
 			c.SetReg(int(in.Rd), c.pc+isa.InstBytes)
-			c.traceStall(c.env.EmitTrace(trace.Record{
+			c.emit(trace.Record{
 				Kind: trace.KindCall, Core: c.ID, PID: c.pid,
 				PC: c.pc, Target: target, Ret: c.pc + isa.InstBytes, SP: c.regs[isa.RSP],
-			}))
+			})
 		}
 		nextPC = target
 
@@ -473,23 +513,23 @@ func (c *Core) Step() error {
 		case isa.CtlCall:
 			c.stats.Calls++
 			link := c.pc + isa.InstBytes
-			c.traceStall(c.env.EmitTrace(trace.Record{
+			c.emit(trace.Record{
 				Kind: trace.KindCall, Core: c.ID, PID: c.pid, Indirect: true,
 				PC: c.pc, Target: target, Ret: link, SP: c.regs[isa.RSP],
-			}))
+			})
 			c.SetReg(int(in.Rd), link)
 		case isa.CtlReturn:
 			c.stats.Returns++
-			c.traceStall(c.env.EmitTrace(trace.Record{
+			c.emit(trace.Record{
 				Kind: trace.KindReturn, Core: c.ID, PID: c.pid,
 				PC: c.pc, Target: target, SP: c.regs[isa.RSP],
-			}))
+			})
 		default: // computed jump
 			c.stats.ComputedJmps++
-			c.traceStall(c.env.EmitTrace(trace.Record{
+			c.emit(trace.Record{
 				Kind: trace.KindControl, Core: c.ID, PID: c.pid, Indirect: true,
 				PC: c.pc, Target: target,
-			}))
+			})
 		}
 		nextPC = target
 

@@ -36,6 +36,8 @@ func (e *stubEnv) EmitTrace(r trace.Record) uint64 {
 	return e.stall
 }
 
+func (e *stubEnv) PendingViolation() bool { return false }
+
 func (e *stubEnv) PreLoad(va uint32) uint64  { return 0 }
 func (e *stubEnv) PreStore(va uint32) uint64 { return 0 }
 

@@ -27,6 +27,7 @@ const pageShift = 12
 type Physical struct {
 	data []byte
 	vers []uint32 // per-page write version; 0 = never written
+	cl   runtime.Cleanup
 }
 
 // physPool recycles the large backing buffers across Physical
@@ -77,8 +78,25 @@ func NewPhysical(size uint32) *Physical {
 		p.data = make([]byte, size)
 		p.vers = make([]uint32, size/PageBytes)
 	}
-	runtime.AddCleanup(p, recyclePhys, physBuf{data: p.data, vers: p.vers})
+	p.cl = runtime.AddCleanup(p, recyclePhys, physBuf{data: p.data, vers: p.vers})
 	return p
+}
+
+// Release returns the backing buffers to the pool immediately instead
+// of waiting for the GC cleanup. The cleanup path alone recycles too
+// late under chip churn — experiment suites and snapshot-restore loops
+// allocate the next chip before the collector has noticed the previous
+// one died, so roughly half the allocations missed the pool and paid a
+// full zeroing pass. The Physical must not be used again after Release;
+// accesses panic on the nil backing slice rather than aliasing memory
+// now owned by another chip.
+func (p *Physical) Release() {
+	if p.data == nil {
+		return
+	}
+	p.cl.Stop()
+	recyclePhys(physBuf{data: p.data, vers: p.vers})
+	p.data, p.vers = nil, nil
 }
 
 // recyclePhys returns an unreachable Physical's buffers to the pool.
@@ -145,6 +163,45 @@ func (p *Physical) ZeroPage(addr uint32) {
 // page. Derived caches (instruction predecode) revalidate against it.
 func (p *Physical) PageVersion(addr uint32) uint32 {
 	return p.vers[addr>>pageShift]
+}
+
+// fnv-1a parameters for the state digests below.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// VersionDigest hashes the per-page write-version array: a cheap proxy
+// for the memory image (every content change bumps a version) that the
+// differential harness compares at each lockstep boundary. Two runs
+// from the same image with the same store sequence must match.
+func (p *Physical) VersionDigest() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range p.vers {
+		h = (h ^ uint64(v)) * fnvPrime
+	}
+	return h
+}
+
+// Digest hashes the full architectural memory image — every written
+// page's index, version and contents (version 0 pages are all-zero by
+// invariant, so they are covered by their absence). Order-sensitive
+// FNV-1a; used by the differential harness for exact end-state
+// comparison.
+func (p *Physical) Digest() uint64 {
+	h := uint64(fnvOffset)
+	for i, v := range p.vers {
+		if v == 0 {
+			continue
+		}
+		h = (h ^ uint64(i)) * fnvPrime
+		h = (h ^ uint64(v)) * fnvPrime
+		base := uint32(i) << pageShift
+		for _, b := range p.data[base : base+PageBytes] {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+	}
+	return h
 }
 
 // FrameAllocator hands out physical page frames from a fixed region.

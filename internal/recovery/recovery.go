@@ -200,6 +200,23 @@ func (m *Manager) OverBudget(p *oslite.Process, core *cpu.Core) bool {
 	return over
 }
 
+// BudgetStop returns the core instret value at which the in-flight
+// request crosses the instruction budget — the first count for which
+// OverBudget reports true — and whether a budget is currently armed.
+// The chip's block-threaded run loop bounds each visit with it, so the
+// liveness check fires at exactly the same instruction as per-step
+// evaluation would.
+func (m *Manager) BudgetStop(p *oslite.Process) (uint64, bool) {
+	if p == nil || p.CurrentReq == 0 {
+		return 0, false
+	}
+	st := m.state(p.PID)
+	if !st.micro.valid {
+		return 0, false
+	}
+	return st.reqStartInstret + m.cfg.InstrBudget + 1, true
+}
+
 // CanRecover reports whether a checkpoint exists to roll pid back to.
 // A detection with no checkpoint (corruption before the first request)
 // is unrecoverable: the caller halts the service instead.

@@ -21,6 +21,7 @@ type nullEnv struct{}
 
 func (nullEnv) Syscall(c *cpu.Core, num int) (uint64, error) { return 0, nil }
 func (nullEnv) EmitTrace(r trace.Record) uint64              { return 0 }
+func (nullEnv) PendingViolation() bool                       { return false }
 func (nullEnv) PreLoad(va uint32) uint64                     { return 0 }
 func (nullEnv) PreStore(va uint32) uint64                    { return 0 }
 

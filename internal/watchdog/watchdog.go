@@ -105,6 +105,25 @@ func (w *Watchdog) Check(core int, addr uint32, op Access) error {
 	return &Violation{Core: core, Addr: addr, Op: op}
 }
 
+// CheckRange reports whether core may perform op on every physical
+// address in [lo, hi). It is the block executor's page-granular fetch
+// gate: one ranged check stands in for the per-instruction checks of a
+// straight-line run, and counts as a single check. A false return is
+// not a violation — the caller falls back to exact per-address Check
+// calls, which fault (and count) at the precise offending access.
+func (w *Watchdog) CheckRange(core int, lo, hi uint32, op Access) bool {
+	w.checks++
+	if w.cfg.Privileged&(1<<uint(core)) != 0 {
+		return true
+	}
+	for _, p := range w.cfg.Partitions {
+		if lo >= p.Lo && hi <= p.Hi && p.Cores&(1<<uint(core)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Checks returns the number of checks performed.
 func (w *Watchdog) Checks() uint64 { return w.checks }
 

@@ -33,34 +33,36 @@ const (
 	MagicLateCrash = 0x4554414C // "LATE"
 )
 
-// progCache memoizes assembled programs by their full generated source.
-// Experiment suites build the same handful of (service, scale) programs
-// for hundreds of simulation cells, and assembly dominated their setup
-// cost; one shared *asm.Program is safe because a Program is immutable
-// after Assemble — loaders copy its bytes into per-process frames and
-// only ever read the symbol maps.
+// progCache memoizes assembled programs by the Params that generated
+// them. Experiment suites build the same handful of (service, scale)
+// programs for hundreds of simulation cells, and generating + assembling
+// the source dominated their setup cost. Params is a plain comparable
+// value and GenerateSource is a pure function of it, so the Params value
+// is a sound cache key — and unlike keying by source text, a hit skips
+// the source generation entirely. One shared *asm.Program is safe
+// because a Program is immutable after Assemble — loaders copy its
+// bytes into per-process frames and only ever read the symbol maps.
 var progCache = struct {
 	sync.Mutex
-	m map[string]*asm.Program
-}{m: make(map[string]*asm.Program)}
+	m map[Params]*asm.Program
+}{m: make(map[Params]*asm.Program)}
 
 // BuildProgram generates and assembles the service's SRV32 program.
-// Results are cached by source text; callers must treat the returned
+// Results are cached by Params; callers must treat the returned
 // Program as read-only (every in-tree caller already does).
 func (p Params) BuildProgram() (*asm.Program, error) {
-	src := p.GenerateSource()
 	progCache.Lock()
-	prog, ok := progCache.m[src]
+	prog, ok := progCache.m[p]
 	progCache.Unlock()
 	if ok {
 		return prog, nil
 	}
-	prog, err := asm.Assemble(src)
+	prog, err := asm.Assemble(p.GenerateSource())
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
 	}
 	progCache.Lock()
-	progCache.m[src] = prog
+	progCache.m[p] = prog
 	progCache.Unlock()
 	return prog, nil
 }

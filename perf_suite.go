@@ -83,6 +83,7 @@ func PerfSuite() []perf.Bench {
 			if err != nil {
 				return 0, err
 			}
+			run.Release()
 			return run.Result.Cycles, nil
 		}},
 		{Name: "micro/isa-predecode", Iters: 5, Fn: func() (uint64, error) {

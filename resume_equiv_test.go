@@ -26,9 +26,12 @@ import (
 
 // resumePoints are the instruction counts at which every RunService
 // cell is snapshotted and restored. The shortest golden service run
-// (bind, 3 requests) executes ~72k instructions, so all three points
-// are genuinely mid-run for every service.
-var resumePoints = []uint64{5_000, 20_000, 60_000}
+// (bind, 3 requests) executes ~72k instructions, so all four points
+// are genuinely mid-run for every service. The 45k point lands deep in
+// steady-state request handling, where the basic-block cache is fully
+// warm: it pins that the block cache is rebuilt (never serialized) and
+// that a restore onto a fresh chip mid-hot-loop stays byte-exact.
+var resumePoints = []uint64{5_000, 20_000, 45_000, 60_000}
 
 // segTracker records the deepest segmentation any cell of an
 // experiment reached, so the test can prove restores actually
@@ -121,6 +124,7 @@ func segmentedRunLoop(points []uint64, tr *segTracker) RunLoopFunc {
 			if err != nil {
 				return ch, total, err
 			}
+			ch.Release() // the pre-snapshot chip is dead; recycle its memory
 			ch = restored
 			segs++
 		}
