@@ -9,11 +9,26 @@
 //	indraload -url http://127.0.0.1:8080 -rate 20 -duration 10s
 //	indraload -url http://127.0.0.1:8080 -sweep 5,10,20,50 -duration 5s
 //	indraload -keys "fig9/req=2/scale=1/seed=1,table4/req=1/scale=1/seed=1"
+//	indraload -cluster-sweep 1,2,4,8 -rate 40 -duration 5s
 //
 // Without -keys the standard experiment suite is used, one cell per
 // registered experiment at -requests legitimate requests. The sweep
 // mode runs each arrival rate for -duration and prints one summary row
 // per rate — the serving layer's saturation curve.
+//
+// A 429 response is retried up to -retry-429 times, sleeping for the
+// server's Retry-After hint (capped at -retry-wait-max) instead of
+// hammering a saturated server; the recorded latency includes the
+// backoff. When responses carry an X-Indra-Worker header (a cluster
+// router answered), outcomes are additionally attributed per worker,
+// so a single misbehaving cluster member shows up in its own
+// percentile row rather than hiding in the aggregate.
+//
+// The cluster sweep (-cluster-sweep, see cluster.go) boots an
+// in-process router over N workers for each N, fires unique-seed
+// arrivals (every request a real simulation — the result cache cannot
+// flatter the scaling), and prints an aggregate-throughput scaling
+// table.
 //
 // Exit status is non-zero when any response falls outside the expected
 // set (2xx success, 429 backpressure, 504 deadline) or a transport
@@ -39,16 +54,32 @@ import (
 
 func main() {
 	var (
-		url         = flag.String("url", "http://127.0.0.1:8080", "indrasrv base URL")
-		rate        = flag.Float64("rate", 20, "open-loop arrival rate, requests/second")
-		sweep       = flag.String("sweep", "", "comma-separated arrival rates; run each for -duration (overrides -rate)")
-		duration    = flag.Duration("duration", 10*time.Second, "load duration per phase")
-		keysFlag    = flag.String("keys", "", "comma-separated canonical cell keys (default: the standard suite)")
-		requests    = flag.Int("requests", 2, "requests per cell when building the default suite keys")
-		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
-		maxInflight = flag.Int("max-inflight", 256, "open-loop in-flight bound; arrivals beyond it are counted as dropped")
+		url          = flag.String("url", "http://127.0.0.1:8080", "indrasrv base URL")
+		rate         = flag.Float64("rate", 20, "open-loop arrival rate, requests/second")
+		sweep        = flag.String("sweep", "", "comma-separated arrival rates; run each for -duration (overrides -rate)")
+		duration     = flag.Duration("duration", 10*time.Second, "load duration per phase")
+		keysFlag     = flag.String("keys", "", "comma-separated canonical cell keys (default: the standard suite)")
+		requests     = flag.Int("requests", 2, "requests per cell when building the default suite keys")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		maxInflight  = flag.Int("max-inflight", 256, "open-loop in-flight bound; arrivals beyond it are counted as dropped")
+		retry429     = flag.Int("retry-429", 1, "retries after a 429, honoring its Retry-After hint (0 disables)")
+		retryWaitMax = flag.Duration("retry-wait-max", 2*time.Second, "cap on one Retry-After backoff sleep")
 	)
+	cf := registerClusterSweepFlags()
 	flag.Parse()
+
+	lc := loadConfig{
+		rate:         *rate,
+		duration:     *duration,
+		timeout:      *timeout,
+		maxInflight:  *maxInflight,
+		retry429:     *retry429,
+		retryWaitMax: *retryWaitMax,
+	}
+
+	if *cf.sizes != "" {
+		os.Exit(runClusterSweep(cf, lc, *requests))
+	}
 
 	keys := buildKeys(*keysFlag, *requests)
 	if len(keys) == 0 {
@@ -74,8 +105,12 @@ func main() {
 		"rate/s", "sent", "ok", "429", "504", "other", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)")
 	clean := true
 	for _, r := range rates {
-		ph := runPhase(client, *url, keys, r, *duration, *maxInflight)
-		fmt.Println(ph.row(r))
+		lc.rate = r
+		ph := runPhase(client, *url, roundRobin(keys), lc)
+		fmt.Println(ph.row(fmt.Sprintf("%8.1f", r)))
+		for _, line := range ph.workerRows() {
+			fmt.Println(line)
+		}
 		if ph.other > 0 || ph.transport > 0 {
 			clean = false
 		}
@@ -84,6 +119,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "indraload: unexpected responses (outside 2xx/429/504) or transport errors")
 		os.Exit(1)
 	}
+}
+
+// loadConfig bundles the open-loop client knobs shared by every phase.
+type loadConfig struct {
+	rate         float64
+	duration     time.Duration
+	timeout      time.Duration
+	maxInflight  int
+	retry429     int
+	retryWaitMax time.Duration
+}
+
+// roundRobin cycles arrivals over a fixed key set (the steady-state
+// serving workload: repeat requests exercise the result cache).
+func roundRobin(keys []string) func(int64) string {
+	return func(i int64) string { return keys[int(i)%len(keys)] }
 }
 
 // buildKeys parses -keys, or derives the standard-suite key set: one
@@ -111,32 +162,49 @@ func buildKeys(flagVal string, requests int) []string {
 	return keys
 }
 
+// workerTally attributes outcomes to the cluster member that answered
+// (the X-Indra-Worker response header); requests answered without the
+// header — a bare indrasrv, or a router-level rejection — land on
+// "(origin)".
+type workerTally struct {
+	sent      int64
+	ok        int64
+	busy      int64
+	deadline  int64
+	server5xx int64 // 5xx other than 504: the worker misbehaved
+	other     int64
+	latencies []time.Duration
+}
+
 // phase accumulates one load phase's outcomes.
 type phase struct {
 	mu        sync.Mutex
 	latencies []time.Duration
 	sent      int64
 	ok        int64
-	busy      int64 // 429
+	busy      int64 // 429 (after retries)
 	deadline  int64 // 504
 	other     int64 // unexpected statuses
 	transport int64 // client-side errors
 	dropped   int64 // arrivals shed at the in-flight bound
+	retries   int64 // 429s retried after their Retry-After hint
+	perWorker map[string]*workerTally
 }
 
-// runPhase fires arrivals at rate/s for dur against url, round-robin
-// over keys, with at most maxInflight outstanding.
-func runPhase(client *http.Client, url string, keys []string, rate float64, dur time.Duration, maxInflight int) *phase {
-	p := &phase{}
-	interval := time.Duration(float64(time.Second) / rate)
+// runPhase fires arrivals at cfg.rate/s for cfg.duration against url,
+// key i drawn from nextKey(i), with at most cfg.maxInflight
+// outstanding.
+func runPhase(client *http.Client, url string, nextKey func(int64) string, cfg loadConfig) *phase {
+	p := &phase{perWorker: make(map[string]*workerTally)}
+	interval := time.Duration(float64(time.Second) / cfg.rate)
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	stop := time.After(dur)
+	stop := time.After(cfg.duration)
 
-	inflight := make(chan struct{}, maxInflight)
+	inflight := make(chan struct{}, cfg.maxInflight)
 	var wg sync.WaitGroup
 	var next atomic.Int64
 loop:
@@ -151,12 +219,12 @@ loop:
 				p.dropped++
 				continue
 			}
-			key := keys[int(next.Add(1)-1)%len(keys)]
+			key := nextKey(next.Add(1) - 1)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer func() { <-inflight }()
-				p.fire(client, url, key)
+				p.fire(client, url, key, cfg)
 			}()
 		}
 	}
@@ -164,11 +232,44 @@ loop:
 	return p
 }
 
-// fire issues one POST /v1/cell and files the outcome.
-func (p *phase) fire(client *http.Client, url, key string) {
+// retryAfter parses a 429's Retry-After hint (delay-seconds form),
+// capped at max; absent or malformed hints back off 100ms.
+func retryAfter(resp *http.Response, max time.Duration) time.Duration {
+	wait := 100 * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait > max {
+		wait = max
+	}
+	return wait
+}
+
+// fire issues one POST /v1/cell — retrying a 429 after its Retry-After
+// hint, up to cfg.retry429 times — and files the outcome, attributed
+// to the worker that answered when the response names one.
+func (p *phase) fire(client *http.Client, url, key string, cfg loadConfig) {
 	body := fmt.Sprintf(`{"key":%q}`, key)
 	start := time.Now()
-	resp, err := client.Post(url+"/v1/cell", "application/json", bytes.NewBufferString(body))
+	var resp *http.Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Post(url+"/v1/cell", "application/json", bytes.NewBufferString(body))
+		if err != nil || resp.StatusCode != http.StatusTooManyRequests || attempt >= cfg.retry429 {
+			break
+		}
+		wait := retryAfter(resp, cfg.retryWaitMax)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		p.mu.Lock()
+		p.retries++
+		p.mu.Unlock()
+		time.Sleep(wait)
+	}
+	// Latency includes any backoff sleeps: it is what a client obeying
+	// the server's hint actually waited for the answer.
 	elapsed := time.Since(start)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -180,15 +281,35 @@ func (p *phase) fire(client *http.Client, url, key string) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	p.latencies = append(p.latencies, elapsed)
+
+	worker := resp.Header.Get("X-Indra-Worker")
+	if worker == "" {
+		worker = "(origin)"
+	}
+	t := p.perWorker[worker]
+	if t == nil {
+		t = &workerTally{}
+		p.perWorker[worker] = t
+	}
+	t.sent++
+	t.latencies = append(t.latencies, elapsed)
+
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		p.ok++
+		t.ok++
 	case resp.StatusCode == http.StatusTooManyRequests:
 		p.busy++
+		t.busy++
 	case resp.StatusCode == http.StatusGatewayTimeout:
 		p.deadline++
+		t.deadline++
+	case resp.StatusCode >= 500:
+		p.other++
+		t.server5xx++
 	default:
 		p.other++
+		t.other++
 	}
 }
 
@@ -201,12 +322,39 @@ func pct(sorted []time.Duration, q float64) float64 {
 	return float64(sorted[i]) / float64(time.Millisecond)
 }
 
-func (p *phase) row(rate float64) string {
+func (p *phase) row(label string) string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	sort.Slice(p.latencies, func(i, j int) bool { return p.latencies[i] < p.latencies[j] })
 	otherish := p.other + p.transport
-	return fmt.Sprintf("%8.1f %8d %8d %8d %8d %8d %9.1f %9.1f %9.1f %9.1f",
-		rate, p.sent, p.ok, p.busy, p.deadline, otherish,
+	return fmt.Sprintf("%s %8d %8d %8d %8d %8d %9.1f %9.1f %9.1f %9.1f",
+		label, p.sent, p.ok, p.busy, p.deadline, otherish,
 		pct(p.latencies, 0.50), pct(p.latencies, 0.90), pct(p.latencies, 0.99), pct(p.latencies, 1.0))
+}
+
+// workerRows renders one attribution row per answering worker —
+// emitted only when a router identified workers, so single-server runs
+// keep their old output shape.
+func (p *phase) workerRows() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.perWorker) == 0 {
+		return nil
+	}
+	if _, originOnly := p.perWorker["(origin)"]; originOnly && len(p.perWorker) == 1 {
+		return nil
+	}
+	ids := make([]string, 0, len(p.perWorker))
+	for id := range p.perWorker {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rows := make([]string, 0, len(ids))
+	for _, id := range ids {
+		t := p.perWorker[id]
+		sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+		rows = append(rows, fmt.Sprintf("  └ %-28s sent=%-6d ok=%-6d 429=%-4d 504=%-4d 5xx=%-4d p50=%.1fms p99=%.1fms",
+			id, t.sent, t.ok, t.busy, t.deadline, t.server5xx, pct(t.latencies, 0.50), pct(t.latencies, 0.99)))
+	}
+	return rows
 }

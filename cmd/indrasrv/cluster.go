@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"indra/internal/cluster"
+	"indra/internal/serve"
+)
+
+// clusterFlags are the router-tier knobs (active with -cluster).
+type clusterFlags struct {
+	peers           *string
+	localWorkers    *int
+	vnodes          *int
+	probeInterval   *time.Duration
+	failThreshold   *int
+	reviveThreshold *int
+	maxHops         *int
+}
+
+func registerClusterFlags() clusterFlags {
+	return clusterFlags{
+		peers:           flag.String("peers", "", "comma-separated worker base URLs to route across (cluster mode)"),
+		localWorkers:    flag.Int("local-workers", 0, "in-process workers to spawn and route across (cluster mode)"),
+		vnodes:          flag.Int("vnodes", 128, "virtual nodes per worker on the hash ring"),
+		probeInterval:   flag.Duration("probe-interval", 500*time.Millisecond, "health-probe period"),
+		failThreshold:   flag.Int("fail-threshold", 3, "consecutive failures before a worker is ejected from the ring"),
+		reviveThreshold: flag.Int("revive-threshold", 2, "consecutive probe successes before an ejected worker is re-admitted"),
+		maxHops:         flag.Int("max-hops", 3, "owner candidates tried per request (owner + failover successors)"),
+	}
+}
+
+// runCluster serves the router tier: consistent-hash routing of cell
+// keys across the configured workers with cluster-wide single-flight,
+// health-checked failover, and peer cache fill. Workers are either
+// remote indrasrv processes (-peers) or in-process servers
+// (-local-workers); both can be mixed.
+func runCluster(addr string, cf clusterFlags, srvCfg serve.Config, drainTimeout time.Duration) {
+	var workers []cluster.Worker
+	var locals []*serve.Server
+	for _, u := range strings.Split(*cf.peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workers = append(workers, cluster.NewHTTPWorker(u, nil))
+		}
+	}
+	for i := 0; i < *cf.localWorkers; i++ {
+		s := serve.New(srvCfg)
+		locals = append(locals, s)
+		workers = append(workers, cluster.NewLocalWorker(fmt.Sprintf("local-%d", i), s))
+	}
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "indrasrv: -cluster needs -peers and/or -local-workers")
+		os.Exit(2)
+	}
+
+	router, err := cluster.New(cluster.Config{
+		Vnodes:          *cf.vnodes,
+		ProbeInterval:   *cf.probeInterval,
+		FailThreshold:   *cf.failThreshold,
+		ReviveThreshold: *cf.reviveThreshold,
+		MaxHops:         *cf.maxHops,
+		DefaultTimeout:  srvCfg.DefaultTimeout,
+		MaxRequests:     srvCfg.MaxRequests,
+		MaxScale:        srvCfg.MaxScale,
+	}, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indrasrv: %v\n", err)
+		os.Exit(1)
+	}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indrasrv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "indrasrv: routing on %s across %d workers\n", l.Addr(), len(workers))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- router.Serve(l) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "indrasrv: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "indrasrv: draining router (up to %s)\n", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	snap, err := router.Drain(dctx)
+	<-errCh
+	// Local workers drain after the router so in-flight proxied cells
+	// finish first; remote peers own their own lifecycles.
+	var wg sync.WaitGroup
+	for _, s := range locals {
+		wg.Add(1)
+		go func(s *serve.Server) {
+			defer wg.Done()
+			_, _ = s.Drain(dctx)
+		}(s)
+	}
+	wg.Wait()
+	if out, jerr := json.Marshal(snap); jerr == nil {
+		fmt.Fprintf(os.Stderr, "indrasrv: final router metrics: %s\n", out)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indrasrv: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "indrasrv: drained cleanly")
+}

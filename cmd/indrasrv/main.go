@@ -16,6 +16,13 @@
 //	GET  /v1/cell?key=K    run/fetch one cell by canonical key
 //	POST /v1/cell          {"key": "fig9/req=3/scale=1/seed=1"}
 //	POST /v1/cells         {"cells": [K, ...]} → NDJSON as cells finish
+//	POST /v1/fill          {"key": K, "output": O} peer cache fill
+//
+// Cluster mode (-cluster) serves the router tier instead: the same
+// client surface, but every cell is consistent-hashed to its owning
+// worker (given by -peers URLs and/or -local-workers in-process
+// servers) with cluster-wide single-flight, health-checked failover,
+// and peer cache fill. See cluster.go.
 //
 // A cell's output is byte-identical to `indrabench -experiment <id>`
 // with the same requests/scale/seed. Identical concurrent requests
@@ -51,10 +58,12 @@ func main() {
 		maxRequests  = flag.Int("max-requests", 64, "largest per-cell request count a client may ask for")
 		maxScale     = flag.Float64("max-scale", 10, "largest workload scale a client may ask for")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound after SIGTERM")
+		clusterMode  = flag.Bool("cluster", false, "serve the router tier instead of a worker (see -peers, -local-workers)")
 	)
+	cf := registerClusterFlags()
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srvCfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CellWorkers:    *cellWorkers,
@@ -63,7 +72,13 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxRequests:    *maxRequests,
 		MaxScale:       *maxScale,
-	})
+	}
+	if *clusterMode {
+		runCluster(*addr, cf, srvCfg, *drainTimeout)
+		return
+	}
+
+	srv := serve.New(srvCfg)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

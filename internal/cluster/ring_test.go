@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys builds a deterministic cell-key-shaped corpus: the ring is
+// always fed canonical CellKey strings in production, so the balance
+// and remap properties are asserted over the same shape.
+func testKeys(n int) []string {
+	exps := []string{"fig9", "fig13", "table2", "availability", "latency", "fleet", "faultsweep"}
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		keys = append(keys, fmt.Sprintf("%s/req=%d/scale=%d/seed=%d", exps[i%len(exps)], i%64+1, i%10+1, i+1))
+	}
+	return keys
+}
+
+func workerIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return ids
+}
+
+// TestRingBalance bounds the key-distribution skew across every
+// cluster size the CellKey nodes axis admits (1..64 workers): with 128
+// vnodes no worker owns more than ~1.7x or less than ~0.4x its fair
+// share of a 20k-key corpus.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(20000)
+	for n := 1; n <= 64; n++ {
+		ring := NewRing(128, workerIDs(n))
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d workers own keys", n, len(counts))
+		}
+		mean := float64(len(keys)) / float64(n)
+		for id, c := range counts {
+			if load := float64(c) / mean; load > 1.7 || load < 0.4 {
+				t.Errorf("n=%d: worker %s owns %.2fx its fair share (%d keys, mean %.0f)", n, id, load, c, mean)
+			}
+		}
+	}
+}
+
+// TestRingRemapMinimality is the consistent-hashing contract the
+// failover protocol relies on: ejecting one worker moves exactly the
+// keys that worker owned (~K/N of them) and no others.
+func TestRingRemapMinimality(t *testing.T) {
+	keys := testKeys(20000)
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		ids := workerIDs(n)
+		before := NewRing(128, ids)
+		ejected := ids[n/2]
+		after := NewRing(128, append(append([]string{}, ids[:n/2]...), ids[n/2+1:]...))
+
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Owner(k), after.Owner(k)
+			if was == ejected {
+				moved++
+				if is == ejected {
+					t.Fatalf("n=%d: key %s still owned by ejected worker", n, k)
+				}
+				continue
+			}
+			if was != is {
+				t.Errorf("n=%d: key %s moved %s -> %s though its owner survived", n, k, was, is)
+			}
+		}
+		fair := float64(len(keys)) / float64(n)
+		if f := float64(moved); f > 2*fair {
+			t.Errorf("n=%d: ejection moved %d keys, want ~%.0f (2x bound)", n, moved, fair)
+		}
+	}
+}
+
+// TestRingDeterministicRebuild holds the property every failover
+// rebuild depends on: the ring is a pure function of the member set —
+// insertion order, duplicates, and rebuild history are all irrelevant.
+func TestRingDeterministicRebuild(t *testing.T) {
+	ids := workerIDs(8)
+	shuffled := append([]string{}, ids...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a := NewRing(64, ids)
+	b := NewRing(64, shuffled)
+	c := NewRing(64, append(append([]string{}, ids...), ids...)) // duplicates collapse
+	for _, k := range testKeys(2000) {
+		if a.Owner(k) != b.Owner(k) || a.Owner(k) != c.Owner(k) {
+			t.Fatalf("key %s: owners diverge across equivalent member sets: %s / %s / %s",
+				k, a.Owner(k), b.Owner(k), c.Owner(k))
+		}
+	}
+	if got, want := len(c.Nodes()), 8; got != want {
+		t.Fatalf("duplicate members not collapsed: %d nodes, want %d", got, want)
+	}
+}
+
+// TestRingOwners checks the failover preference list: it starts at the
+// owner, contains no duplicates, and the second entry is the key's new
+// owner after the first is ejected (the in-flight re-route target).
+func TestRingOwners(t *testing.T) {
+	ids := workerIDs(6)
+	ring := NewRing(128, ids)
+	for _, k := range testKeys(500) {
+		owners := ring.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: got %d owners, want 3", k, len(owners))
+		}
+		if owners[0] != ring.Owner(k) {
+			t.Fatalf("key %s: preference list starts at %s, owner is %s", k, owners[0], ring.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, id := range owners {
+			if seen[id] {
+				t.Fatalf("key %s: duplicate candidate %s", k, id)
+			}
+			seen[id] = true
+		}
+		// Eject the owner: the deterministic re-hash must hand the key
+		// to the preference list's second entry.
+		var survivors []string
+		for _, id := range ids {
+			if id != owners[0] {
+				survivors = append(survivors, id)
+			}
+		}
+		if got := NewRing(128, survivors).Owner(k); got != owners[1] {
+			t.Fatalf("key %s: post-ejection owner %s, preference list said %s", k, got, owners[1])
+		}
+	}
+	if got := ring.Owners("fig9/req=1/scale=1/seed=1", 99); len(got) != 6 {
+		t.Fatalf("Owners clamps to member count: got %d, want 6", len(got))
+	}
+}
+
+// TestRingEmpty: a ring with no members owns nothing (the router maps
+// this to 502, not a panic).
+func TestRingEmpty(t *testing.T) {
+	ring := NewRing(128, nil)
+	if ring.Owner("fig9/req=1/scale=1/seed=1") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if ring.Owners("fig9/req=1/scale=1/seed=1", 3) != nil {
+		t.Fatal("empty ring returned candidates")
+	}
+	if ring.Len() != 0 {
+		t.Fatal("empty ring has members")
+	}
+}

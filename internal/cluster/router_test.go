@@ -1,0 +1,472 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indra"
+)
+
+// stubWorker is an in-memory cluster member with scriptable failure:
+// down workers fail Run/Health at the worker level (the failover
+// trigger), live ones answer deterministically and record every call.
+type stubWorker struct {
+	id string
+
+	mu    sync.Mutex
+	down  bool
+	delay time.Duration
+	runs  []string          // keys executed, in call order
+	fills map[string]string // key -> filled output
+}
+
+func newStub(id string) *stubWorker {
+	return &stubWorker{id: id, fills: map[string]string{}}
+}
+
+func (s *stubWorker) ID() string { return s.id }
+
+func (s *stubWorker) setDown(down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = down
+}
+
+func (s *stubWorker) Run(ctx context.Context, key indra.CellKey, _ time.Duration) (Result, error) {
+	s.mu.Lock()
+	down, delay := s.down, s.delay
+	s.mu.Unlock()
+	if down {
+		return Result{}, fmt.Errorf("%w: stub %s is down", errWorkerDown, s.id)
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	ks := key.String()
+	s.mu.Lock()
+	s.runs = append(s.runs, ks)
+	s.mu.Unlock()
+	return Result{Key: ks, Output: "out:" + ks + "\n", Status: http.StatusOK}, nil
+}
+
+func (s *stubWorker) Fill(_ context.Context, key indra.CellKey, output string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("%w: stub %s is down", errWorkerDown, s.id)
+	}
+	s.fills[key.String()] = output
+	return nil
+}
+
+func (s *stubWorker) Health(context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("%w: stub %s is down", errWorkerDown, s.id)
+	}
+	return nil
+}
+
+func (s *stubWorker) runCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}
+
+// newTestRouter builds a router over n stubs with probing effectively
+// disabled (ejection is driven by request-path failures) unless cfg
+// overrides the interval.
+func newTestRouter(t *testing.T, cfg Config, n int) (*Router, []*stubWorker) {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Hour
+	}
+	stubs := make([]*stubWorker, n)
+	workers := make([]Worker, n)
+	for i := range stubs {
+		stubs[i] = newStub(fmt.Sprintf("w%d", i))
+		workers[i] = stubs[i]
+	}
+	r, err := New(cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, err := r.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return r, stubs
+}
+
+func stubByID(stubs []*stubWorker, id string) *stubWorker {
+	for _, s := range stubs {
+		if s.id == id {
+			return s
+		}
+	}
+	return nil
+}
+
+type wireCell struct {
+	Key    string `json:"key"`
+	Output string `json:"output"`
+	Cached bool   `json:"cached"`
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+	Worker string `json:"worker"`
+	Hops   int    `json:"hops"`
+}
+
+func postCell(t *testing.T, r *Router, key string) (wireCell, *httptest.ResponseRecorder) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/cell",
+		strings.NewReader(fmt.Sprintf(`{"key":%q}`, key)))
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	var cell wireCell
+	if err := json.NewDecoder(rec.Body).Decode(&cell); err != nil {
+		t.Fatalf("decode %s: %v (body %q)", key, err, rec.Body.String())
+	}
+	return cell, rec
+}
+
+func testKey(i int) string {
+	return indra.CellKey{Experiment: "fig9", Requests: i, Scale: 1, Seed: 1}.String()
+}
+
+// TestRouterRoutesToOwner: every key is proxied to exactly the worker
+// the ring names as its owner, and the response carries the routing
+// provenance (worker id header, zero hops).
+func TestRouterRoutesToOwner(t *testing.T) {
+	r, stubs := newTestRouter(t, Config{}, 4)
+	for i := 1; i <= 20; i++ {
+		key := testKey(i)
+		cell, rec := postCell(t, r, key)
+		if cell.Status != http.StatusOK {
+			t.Fatalf("key %s: status %d (%s)", key, cell.Status, cell.Error)
+		}
+		owner := r.Owner(key)
+		if cell.Worker != owner || rec.Header().Get("X-Indra-Worker") != owner {
+			t.Errorf("key %s: served by %s (header %s), owner is %s",
+				key, cell.Worker, rec.Header().Get("X-Indra-Worker"), owner)
+		}
+		if cell.Hops != 0 {
+			t.Errorf("key %s: %d hops on a healthy cluster", key, cell.Hops)
+		}
+		s := stubByID(stubs, owner)
+		found := false
+		s.mu.Lock()
+		for _, ran := range s.runs {
+			if ran == key {
+				found = true
+			}
+		}
+		s.mu.Unlock()
+		if !found {
+			t.Errorf("key %s: owner %s never executed it", key, owner)
+		}
+	}
+}
+
+// TestRouterSingleFlight: concurrent identical requests coalesce at
+// the router — the owner sees one execution, followers share the
+// leader's bytes.
+func TestRouterSingleFlight(t *testing.T) {
+	r, stubs := newTestRouter(t, Config{}, 3)
+	key := testKey(1)
+	stubByID(stubs, r.Owner(key)).delay = 50 * time.Millisecond
+
+	const clients = 8
+	outs := make([]wireCell, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], _ = postCell(t, r, key)
+		}(i)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, s := range stubs {
+		total += s.runCount()
+	}
+	if total != 1 {
+		t.Errorf("cluster executed %d times, want 1 (single-flight)", total)
+	}
+	for i, cell := range outs {
+		if cell.Status != http.StatusOK || cell.Output != outs[0].Output {
+			t.Errorf("client %d: status %d output %q diverges", i, cell.Status, cell.Output)
+		}
+	}
+	snap := r.Metrics()
+	if c := snap.Counters["cluster.coalesced"]; c != clients-1 {
+		t.Errorf("coalesced %d, want %d", c, clients-1)
+	}
+	if c := snap.Counters["cluster.proxied"]; c != 1 {
+		t.Errorf("proxied %d, want 1", c)
+	}
+}
+
+// TestRouterFailoverAndPeerFill: a worker dies after serving keys;
+// requests re-route to the ring successor with an idempotent retry,
+// the worker is ejected after FailThreshold consecutive failures, and
+// the dead worker's remembered results are pushed to the keys' new
+// owners (peer cache fill).
+func TestRouterFailoverAndPeerFill(t *testing.T) {
+	r, stubs := newTestRouter(t, Config{FailThreshold: 3}, 4)
+
+	// Serve keys on a healthy cluster so the router remembers results.
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = testKey(i + 1)
+		if cell, _ := postCell(t, r, keys[i]); cell.Status != http.StatusOK {
+			t.Fatalf("warmup %s: status %d", keys[i], cell.Status)
+		}
+	}
+	victimID := r.Owner(keys[0])
+	victim := stubByID(stubs, victimID)
+	var victimKeys []string
+	for _, k := range keys {
+		if r.Owner(k) == victimID {
+			victimKeys = append(victimKeys, k)
+		}
+	}
+
+	victim.setDown(true)
+
+	// Each request to a victim-owned key fails over to the successor.
+	successor := NewRing(r.cfg.Vnodes, removeID(r.Alive(), victimID)).Owner(keys[0])
+	for i := 0; i < 3; i++ {
+		cell, _ := postCell(t, r, keys[0])
+		if cell.Status != http.StatusOK {
+			t.Fatalf("failover request %d: status %d (%s)", i, cell.Status, cell.Error)
+		}
+		if cell.Worker != successor || cell.Hops == 0 {
+			t.Errorf("failover request %d: served by %s with %d hops, want successor %s",
+				i, cell.Worker, cell.Hops, successor)
+		}
+	}
+
+	// Three consecutive worker-level failures eject the victim.
+	waitFor(t, time.Second, func() bool { return len(r.Alive()) == 3 })
+	for _, id := range r.Alive() {
+		if id == victimID {
+			t.Fatal("victim still on the ring after ejection")
+		}
+	}
+	snap := r.Metrics()
+	if snap.Counters["cluster.ejections"] != 1 {
+		t.Errorf("ejections %d, want 1", snap.Counters["cluster.ejections"])
+	}
+	if snap.Counters["cluster.failovers"] == 0 || snap.Counters["cluster.retries"] == 0 {
+		t.Error("failover/retry counters untouched")
+	}
+
+	// Peer fill: every key the victim had served lands in its new
+	// owner's cache (refill runs async after ejection). keys[0] is
+	// excluded: the failover requests re-executed it on the successor,
+	// which re-remembered it as the successor's result — already warm
+	// where it lives, so no fill is owed.
+	waitFor(t, 2*time.Second, func() bool {
+		for _, k := range victimKeys {
+			if k == keys[0] {
+				continue
+			}
+			key, _ := indra.ParseCellKey(k)
+			owner := stubByID(stubs, r.Owner(k))
+			owner.mu.Lock()
+			_, ok := owner.fills[key.String()]
+			owner.mu.Unlock()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestRouterRevival: an ejected worker that answers health probes is
+// re-admitted after ReviveThreshold consecutive successes, and its
+// keys deterministically return to it.
+func TestRouterRevival(t *testing.T) {
+	r, stubs := newTestRouter(t, Config{
+		ProbeInterval:   10 * time.Millisecond,
+		FailThreshold:   2,
+		ReviveThreshold: 2,
+	}, 3)
+
+	key := testKey(1)
+	victimID := r.Owner(key)
+	stubByID(stubs, victimID).setDown(true)
+	waitFor(t, 2*time.Second, func() bool { return len(r.Alive()) == 2 })
+
+	stubByID(stubs, victimID).setDown(false)
+	waitFor(t, 2*time.Second, func() bool { return len(r.Alive()) == 3 })
+	if r.Owner(key) != victimID {
+		t.Errorf("revived worker did not get its keys back: owner %s, want %s", r.Owner(key), victimID)
+	}
+	snap := r.Metrics()
+	if snap.Counters["cluster.revivals"] != 1 {
+		t.Errorf("revivals %d, want 1", snap.Counters["cluster.revivals"])
+	}
+}
+
+// TestRouterRejectsInvalidInput: malformed keys, unknown experiments,
+// and over-limit cells are rejected at the router boundary — no proxy
+// hop reaches any worker.
+func TestRouterRejectsInvalidInput(t *testing.T) {
+	r, stubs := newTestRouter(t, Config{}, 3)
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"fig9/req=0/scale=1/seed=1", http.StatusBadRequest},      // non-positive req
+		{"fig9/bogus=1", http.StatusBadRequest},                   // unknown field
+		{"FIG9/req=1", http.StatusBadRequest},                     // bad id charset
+		{"", http.StatusBadRequest},                               // empty
+		{"no-such-exp/req=1/scale=1/seed=1", http.StatusNotFound}, // parses, not registered
+		{"fig9/req=1000/scale=1/seed=1", http.StatusBadRequest},   // over MaxRequests
+		{"fig9/req=1/scale=500/seed=1", http.StatusBadRequest},    // over MaxScale
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/v1/cell",
+			strings.NewReader(fmt.Sprintf(`{"key":%q}`, tc.key)))
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("key %q: status %d, want %d", tc.key, rec.Code, tc.want)
+		}
+	}
+	for _, s := range stubs {
+		if s.runCount() != 0 {
+			t.Errorf("worker %s executed %d cells from invalid input", s.id, s.runCount())
+		}
+	}
+}
+
+// TestRouterBatchNDJSON: a batch streams one line per cell, each
+// routed to its owner, all 200.
+func TestRouterBatchNDJSON(t *testing.T) {
+	r, stubs := newTestRouter(t, Config{}, 4)
+	var keys []string
+	for i := 1; i <= 10; i++ {
+		keys = append(keys, testKey(i))
+	}
+	body, _ := json.Marshal(map[string]any{"cells": keys})
+	req := httptest.NewRequest(http.MethodPost, "/v1/cells", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d", rec.Code)
+	}
+	dec := json.NewDecoder(rec.Body)
+	got := map[string]wireCell{}
+	for dec.More() {
+		var cell wireCell
+		if err := dec.Decode(&cell); err != nil {
+			t.Fatalf("NDJSON decode: %v", err)
+		}
+		got[cell.Key] = cell
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("batch returned %d lines, want %d", len(got), len(keys))
+	}
+	for _, k := range keys {
+		cell, ok := got[k]
+		if !ok || cell.Status != http.StatusOK {
+			t.Errorf("cell %s: missing or status %d", k, cell.Status)
+		}
+		if cell.Worker != r.Owner(k) {
+			t.Errorf("cell %s: served by %s, owner %s", k, cell.Worker, r.Owner(k))
+		}
+	}
+	total := 0
+	for _, s := range stubs {
+		total += s.runCount()
+	}
+	if total != len(keys) {
+		t.Errorf("cluster executed %d cells, want %d", total, len(keys))
+	}
+}
+
+// TestRouterDrainRejects: a draining router answers 503 and its
+// healthz flips, without touching workers.
+func TestRouterDrainRejects(t *testing.T) {
+	stubs := []*stubWorker{newStub("w0")}
+	r, err := New(Config{ProbeInterval: time.Hour}, []Worker{stubs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := r.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := postCell(t, r, testKey(1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining router answered %d, want 503", rec.Code)
+	}
+	hreq := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hrec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(hrec, hreq)
+	if hrec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz %d, want 503", hrec.Code)
+	}
+	if stubs[0].runCount() != 0 {
+		t.Error("draining router proxied work")
+	}
+}
+
+// TestRouterAllWorkersDead: with every candidate down the router
+// answers 502 (unrouted), not a hang or panic.
+func TestRouterAllWorkersDead(t *testing.T) {
+	r, stubs := newTestRouter(t, Config{FailThreshold: 100}, 2)
+	for _, s := range stubs {
+		s.setDown(true)
+	}
+	cell, rec := postCell(t, r, testKey(1))
+	if rec.Code != http.StatusBadGateway || cell.Status != http.StatusBadGateway {
+		t.Errorf("status %d/%d, want 502", rec.Code, cell.Status)
+	}
+	if r.Metrics().Counters["cluster.unrouted"] == 0 {
+		t.Error("unrouted counter untouched")
+	}
+}
+
+func removeID(ids []string, id string) []string {
+	var out []string
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"indra"
+	"indra/internal/serve"
+)
+
+// Result is one cell's answer as seen by the router: the worker's
+// /v1/cell response body. Status carries per-cell failures (429, 504,
+// 500) — those are answers, not worker failures, and are returned to
+// the client rather than failed over.
+type Result struct {
+	Key    string
+	Output string
+	Cached bool
+	Status int
+	Err    string
+}
+
+// Worker is one cluster member as the router sees it. Run and Fill
+// return an error only for worker-level failures (the process is dead,
+// the transport broke, the reply was not a cell response); those
+// trigger failover. Cell-level failures ride inside Result.
+type Worker interface {
+	// ID is the stable ring identity (a peer URL or local worker name).
+	ID() string
+	// Run executes (or cache-serves) one cell on this worker.
+	Run(ctx context.Context, key indra.CellKey, timeout time.Duration) (Result, error)
+	// Fill warms this worker's result cache with a completed result.
+	Fill(ctx context.Context, key indra.CellKey, output string) error
+	// Health probes the worker's /healthz (nil = alive and serving).
+	Health(ctx context.Context) error
+}
+
+// errWorkerDown marks worker-level failures originating locally.
+var errWorkerDown = errors.New("cluster: worker down")
+
+// ---------------------------------------------------- HTTP worker
+
+// HTTPWorker fronts a real indrasrv process over HTTP — the scale-out
+// member type. The zero-value client timeouts are governed per-call by
+// ctx; the router sets a probe timeout for Health.
+type HTTPWorker struct {
+	base   string // e.g. http://127.0.0.1:8081, no trailing slash
+	client *http.Client
+}
+
+// NewHTTPWorker builds a worker for the indrasrv at base. client nil
+// selects a dedicated default client (per-request deadlines come from
+// ctx, so no client-level timeout is set).
+func NewHTTPWorker(base string, client *http.Client) *HTTPWorker {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	return &HTTPWorker{base: base, client: client}
+}
+
+func (w *HTTPWorker) ID() string { return w.base }
+
+// cellBody mirrors serve's cellResponse wire shape.
+type cellBody struct {
+	Key    string `json:"key"`
+	Output string `json:"output"`
+	Cached bool   `json:"cached"`
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+func (w *HTTPWorker) Run(ctx context.Context, key indra.CellKey, timeout time.Duration) (Result, error) {
+	body, _ := json.Marshal(map[string]any{"key": key.String(), "timeout_ms": timeout.Milliseconds()})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/cell", bytes.NewReader(body))
+	if err != nil {
+		return Result{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", errWorkerDown, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	// 502/503 mean the worker (or something in front of it) cannot
+	// serve cells right now — a worker-level failure to fail over, not
+	// a cell answer. Everything else must parse as a cell response.
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		return Result{}, fmt.Errorf("%w: status %d", errWorkerDown, resp.StatusCode)
+	}
+	var cell cellBody
+	if err := json.NewDecoder(resp.Body).Decode(&cell); err != nil {
+		return Result{}, fmt.Errorf("%w: bad cell response: %v", errWorkerDown, err)
+	}
+	return Result{Key: cell.Key, Output: cell.Output, Cached: cell.Cached, Status: cell.Status, Err: cell.Error}, nil
+}
+
+func (w *HTTPWorker) Fill(ctx context.Context, key indra.CellKey, output string) error {
+	body, _ := json.Marshal(map[string]string{"key": key.String(), "output": output})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/fill", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errWorkerDown, err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: fill %s: status %d", w.base, resp.StatusCode)
+	}
+	return nil
+}
+
+func (w *HTTPWorker) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errWorkerDown, err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: healthz status %d", errWorkerDown, resp.StatusCode)
+	}
+	return nil
+}
+
+// CloseIdle releases the worker client's idle connections (tests and
+// drain paths use it to avoid goroutine-leak noise).
+func (w *HTTPWorker) CloseIdle() { w.client.CloseIdleConnections() }
+
+// ---------------------------------------------------- local worker
+
+// LocalWorker runs a serve.Server in-process — the single-binary
+// cluster (indrasrv -cluster -local-workers N) and the unit tests'
+// member type. Semantics match HTTPWorker: a draining server is a
+// worker-level failure, cell-level failures ride in Result.
+type LocalWorker struct {
+	id  string
+	srv *serve.Server
+}
+
+// NewLocalWorker wraps srv as the cluster member named id.
+func NewLocalWorker(id string, srv *serve.Server) *LocalWorker {
+	return &LocalWorker{id: id, srv: srv}
+}
+
+func (w *LocalWorker) ID() string { return w.id }
+
+// Server exposes the wrapped server (the CLI drains it on shutdown).
+func (w *LocalWorker) Server() *serve.Server { return w.srv }
+
+func (w *LocalWorker) Run(ctx context.Context, key indra.CellKey, timeout time.Duration) (Result, error) {
+	res := w.srv.ExecuteCell(ctx, key, timeout)
+	if res.Status == http.StatusServiceUnavailable {
+		return Result{}, fmt.Errorf("%w: %s", errWorkerDown, res.Err)
+	}
+	return Result{Key: res.Key, Output: res.Output, Cached: res.Cached, Status: res.Status, Err: res.Err}, nil
+}
+
+func (w *LocalWorker) Fill(_ context.Context, key indra.CellKey, output string) error {
+	w.srv.FillCache(key, output)
+	return nil
+}
+
+func (w *LocalWorker) Health(context.Context) error {
+	if w.srv.Draining() {
+		return fmt.Errorf("%w: draining", errWorkerDown)
+	}
+	return nil
+}

@@ -238,6 +238,35 @@ type HistValue struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
+// Quantile returns an upper bound on the q-quantile observation: the
+// top of the log2 bucket the quantile falls in (2^Pow - 1; bucket 0 is
+// the exact value 0). q is clamped to [0, 1]; an empty histogram
+// reports 0. The cluster router's health report uses it to surface
+// probe and proxy latency percentiles without retaining samples.
+func (h HistValue) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count-1))
+	var seen uint64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen > rank {
+			if b.Pow == 0 {
+				return 0
+			}
+			return 1<<b.Pow - 1
+		}
+	}
+	return 0
+}
+
 // Snapshot is the registry's state at one simulated cycle. Probes are
 // folded into Counters. encoding/json renders map keys sorted, so a
 // marshalled snapshot is deterministic.

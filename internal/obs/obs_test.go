@@ -293,3 +293,42 @@ func TestTracerExport(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramQuantile pins the log2-bucket quantile estimate the
+// cluster topology endpoint reports: the value returned is the upper
+// edge of the bucket holding the rank-q observation.
+func TestHistogramQuantile(t *testing.T) {
+	if (HistValue{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+
+	reg := NewRegistry()
+	h := reg.Histogram("h")
+	// 90 observations in the [8,15] bucket (pow 4), 10 in [1024,2047]
+	// (pow 11): p50 sits in the low bucket, p99 in the high one.
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	hv := reg.Snapshot(0).Histograms["h"]
+	if got := hv.Quantile(0.50); got != 15 {
+		t.Errorf("p50 = %d, want 15 (upper edge of the pow-4 bucket)", got)
+	}
+	if got := hv.Quantile(0.99); got != 2047 {
+		t.Errorf("p99 = %d, want 2047 (upper edge of the pow-11 bucket)", got)
+	}
+	if got := hv.Quantile(-1); got != 15 {
+		t.Errorf("q<0 should clamp to min bucket edge, got %d", got)
+	}
+	if got := hv.Quantile(2); got != 2047 {
+		t.Errorf("q>1 should clamp to max bucket edge, got %d", got)
+	}
+
+	zero := NewRegistry()
+	zero.Histogram("z").Observe(0)
+	if got := zero.Snapshot(0).Histograms["z"].Quantile(1); got != 0 {
+		t.Errorf("observation 0 lands in the pow-0 bucket, quantile %d want 0", got)
+	}
+}

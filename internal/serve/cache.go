@@ -104,6 +104,34 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (string, err
 	return e.out, false, e.err
 }
 
+// fill inserts a completed result for key without executing anything —
+// the peer cache-fill path: a cluster router warms a failed-over key's
+// new owner with the dead owner's remembered result. An existing entry
+// (completed or in-flight) wins; fill reports whether it inserted.
+func (c *resultCache) fill(key, out string) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return false
+	}
+	if len(sh.m) >= c.perShard {
+		for k, old := range sh.m {
+			select {
+			case <-old.done: // evict an arbitrary completed entry
+				delete(sh.m, k)
+			default: // in-flight: keep, try another
+				continue
+			}
+			break
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{}), out: out}
+	close(e.done)
+	sh.m[key] = e
+	return true
+}
+
 // run executes fn, converting a panic into an error so a crashing
 // leader still completes its entry (followers would otherwise wait for
 // a close that never comes).

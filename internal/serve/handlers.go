@@ -59,6 +59,37 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/cell", s.instrument(s.handleCell))
 	s.mux.HandleFunc("POST /v1/cell", s.instrument(s.handleCell))
 	s.mux.HandleFunc("POST /v1/cells", s.instrument(s.handleCells))
+	s.mux.HandleFunc("POST /v1/fill", s.instrument(s.handleFill))
+}
+
+// fillRequest is the JSON body of POST /v1/fill: a peer cache fill
+// from a cluster router (the remembered result of a dead owner, warmed
+// into this worker — the key's new owner after the ring re-hash).
+type fillRequest struct {
+	Key    string `json:"key"`
+	Output string `json:"output"`
+}
+
+func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req fillRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	key, err := indra.ParseCellKey(req.Key)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if status, err := s.validate(key); err != nil {
+		writeErr(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"installed": s.FillCache(key, req.Output)})
 }
 
 // statusWriter records the response code for metrics and forwards

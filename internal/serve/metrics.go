@@ -17,6 +17,7 @@ type metrics struct {
 	cacheMiss  *obs.Counter // cell requests that became the executing leader
 	rejected   *obs.Counter // 429s (admission queue full)
 	deadlines  *obs.Counter // 504s (deadline expired before a result)
+	cacheFills *obs.Counter // results installed by a cluster peer fill
 
 	warmHits      *obs.Counter // chips stamped from a warm-boot snapshot
 	warmMiss      *obs.Counter // first-run cold boots that primed the booter
@@ -40,6 +41,7 @@ func newMetrics(r *obs.Registry) metrics {
 		cacheMiss:     r.Counter("serve.cache.misses"),
 		rejected:      r.Counter("serve.rejected"),
 		deadlines:     r.Counter("serve.deadlines"),
+		cacheFills:    r.Counter("serve.cache.fills"),
 		warmHits:      r.Counter("serve.warmboot.hits"),
 		warmMiss:      r.Counter("serve.warmboot.misses"),
 		warmFallbacks: r.Counter("serve.warmboot.fallbacks"),

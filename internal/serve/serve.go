@@ -193,6 +193,70 @@ func (s *Server) ListenAndServe(addr string) error {
 // Draining reports whether the server has begun shutting down.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// CellResult mirrors the /v1/cell response body for in-process callers
+// (a cluster router running this server as a local worker).
+type CellResult struct {
+	Key     string
+	Output  string
+	Cached  bool
+	Status  int
+	Err     string
+	Elapsed time.Duration
+}
+
+// ExecuteCell runs one cell through the full serving pipeline — cache
+// with single-flight, admission, execution — exactly as POST /v1/cell
+// would, but without the HTTP layer. timeout 0 selects the server
+// default; client timeouts are clamped to Config.MaxTimeout either
+// way. A draining server answers 503 without touching the cache.
+func (s *Server) ExecuteCell(ctx context.Context, key indra.CellKey, timeout time.Duration) CellResult {
+	if s.draining.Load() {
+		return CellResult{Key: key.String(), Status: http.StatusServiceUnavailable, Err: "server is draining"}
+	}
+	if status, err := s.validate(key); err != nil {
+		return CellResult{Key: key.String(), Status: status, Err: err.Error()}
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(timeout.Milliseconds()))
+	defer cancel()
+	resp := s.runCell(ctx, key)
+	return CellResult{
+		Key:     resp.Key,
+		Output:  resp.Output,
+		Cached:  resp.Cached,
+		Status:  resp.Status,
+		Err:     resp.Error,
+		Elapsed: time.Duration(resp.ElapsedMS) * time.Millisecond,
+	}
+}
+
+// FillCache installs a completed result for key without executing it —
+// the cluster peer cache-fill path, so a failed-over key's new owner
+// answers warm. Existing (or in-flight) entries win; FillCache reports
+// whether the result was installed, counting installs in
+// serve.cache.fills.
+func (s *Server) FillCache(key indra.CellKey, output string) bool {
+	if s.draining.Load() {
+		return false
+	}
+	if _, err := s.validate(key); err != nil {
+		return false
+	}
+	ok := s.cache.fill(key.String(), output)
+	if ok {
+		s.m.cacheFills.Inc()
+	}
+	return ok
+}
+
+// Kill terminates the server immediately: listeners and all active
+// connections close without draining, as if the process died. The
+// cluster failover tests use it to simulate worker death; production
+// shutdown is Drain.
+func (s *Server) Kill() error {
+	s.draining.Store(true)
+	return s.http.Close()
+}
+
 // Drain gracefully shuts the server down: new cell work is rejected
 // with 503, listeners stop accepting, in-flight requests run to
 // completion (bounded by ctx), and the final metrics snapshot is

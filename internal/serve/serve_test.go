@@ -484,3 +484,118 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 	}
 	t.Fatalf("timed out waiting for %s", what)
 }
+
+// TestFillInstallsCachedResult: POST /v1/fill installs a completed
+// result (the cluster peer cache-fill path), so the next request for
+// that key answers from cache without executing; existing entries win.
+func TestFillInstallsCachedResult(t *testing.T) {
+	var execs atomic.Int64
+	srv := New(Config{
+		Workers: 2,
+		Runner: func(k indra.CellKey) (string, error) {
+			execs.Add(1)
+			return "executed-" + k.String(), nil
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fill := func(cellKey, output string) (int, bool) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"key": cellKey, "output": output})
+		resp, err := ts.Client().Post(ts.URL+"/v1/fill", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Installed bool `json:"installed"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out.Installed
+	}
+
+	if code, installed := fill(key(1), "peer-filled bytes"); code != http.StatusOK || !installed {
+		t.Fatalf("fill: status %d installed %v, want 200 true", code, installed)
+	}
+	resp, cr := postCell(t, ts.Client(), ts.URL, key(1), 5000)
+	if resp.StatusCode != http.StatusOK || !cr.Cached || cr.Output != "peer-filled bytes" {
+		t.Fatalf("filled cell: status %d cached %v output %q", resp.StatusCode, cr.Cached, cr.Output)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("filled key executed %d times, want 0", execs.Load())
+	}
+
+	// An existing (executed) entry wins over a late fill.
+	if _, cr := postCell(t, ts.Client(), ts.URL, key(2), 5000); cr.Cached {
+		t.Fatal("fresh key unexpectedly cached")
+	}
+	if code, installed := fill(key(2), "stale overwrite"); code != http.StatusOK || installed {
+		t.Fatalf("overwrite fill: status %d installed %v, want 200 false", code, installed)
+	}
+	if _, cr := postCell(t, ts.Client(), ts.URL, key(2), 5000); cr.Output != "executed-"+key(2) {
+		t.Fatalf("fill overwrote an executed result: %q", cr.Output)
+	}
+
+	// Invalid fills are rejected at the boundary.
+	for body, want := range map[string]int{
+		`{"key":"fig9/req=0/scale=1/seed=1","output":"x"}`:        http.StatusBadRequest,
+		`{"key":"no-such-exp/req=1/scale=1/seed=1","output":"x"}`: http.StatusNotFound,
+		`not json`: http.StatusBadRequest,
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/fill", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("fill %q: status %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+
+	c := counters(t, ts.URL)
+	if c["serve.cache.fills"] != 1 {
+		t.Fatalf("serve.cache.fills %d, want 1", c["serve.cache.fills"])
+	}
+}
+
+// TestExecuteCellMatchesHTTP: the in-process path a cluster local
+// worker uses answers exactly like POST /v1/cell — same pipeline, same
+// cache, same validation, 503 while draining.
+func TestExecuteCellMatchesHTTP(t *testing.T) {
+	srv := New(Config{
+		Workers: 2,
+		Runner: func(k indra.CellKey) (string, error) {
+			return "result-" + k.String(), nil
+		},
+	})
+	k, err := indra.ParseCellKey(key(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := srv.ExecuteCell(context.Background(), k, 0)
+	if res.Status != http.StatusOK || res.Cached || res.Output != "result-"+key(1) {
+		t.Fatalf("cold ExecuteCell: %+v", res)
+	}
+	if res = srv.ExecuteCell(context.Background(), k, 0); res.Status != http.StatusOK || !res.Cached {
+		t.Fatalf("warm ExecuteCell not cached: %+v", res)
+	}
+
+	bad := indra.CellKey{Experiment: "no-such-exp", Requests: 1, Scale: 1, Seed: 1}
+	if res = srv.ExecuteCell(context.Background(), bad, 0); res.Status != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d, want 404", res.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if res = srv.ExecuteCell(context.Background(), k, 0); res.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining ExecuteCell: status %d, want 503", res.Status)
+	}
+	if srv.FillCache(k, "late") {
+		t.Fatal("FillCache installed into a draining server")
+	}
+}
