@@ -1,12 +1,14 @@
 package indra
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
 
 	"indra/internal/attack"
 	"indra/internal/chip"
+	"indra/internal/device"
 	"indra/internal/faultinject"
 	"indra/internal/netsim"
 	"indra/internal/parallel"
@@ -51,19 +53,73 @@ type FaultSweepRow struct {
 	Truncated      bool // cell hit its instruction cap
 }
 
-// FaultSweepResult holds the sweep in service-major order.
+// DeviceRow is one (scenario, rate) cell of the device-attack sweep:
+// an attack staged through a peripheral (NIC DMA, the disk's stored
+// binaries) rather than the request stream, run with every fault site
+// — protection-layer and device — armed.
+type DeviceRow struct {
+	Scenario       string
+	Rate           float64
+	InjectedFaults uint64
+	Detections     int    // monitor violations across the cell
+	NICRejected    uint64 // NIC engine aborts (watchdog-refused DMA)
+	Detected       bool   // the staged attack was caught
+	Truncated      bool
+}
+
+// FaultSweepResult holds the sweep in service-major order, followed by
+// the device-attack rows (absent under legacy device wiring, which has
+// no NIC or disk-backed fs to attack).
 type FaultSweepResult struct {
-	Rows []FaultSweepRow
+	Rows       []FaultSweepRow
+	DeviceRows []DeviceRow
 }
 
 // AttackClasses lists the code-attack classes the sweep measures
 // detection coverage over; FptrHijack implies its trigger stage.
 var AttackClasses = []attack.Kind{attack.StackSmash, attack.InjectCode, attack.FptrHijack}
 
-// faultSweepPlans arms every fault site at rate, seeded from the cell
-// identity so each cell's fault pattern is fixed under any worker
-// count.
+// protectionSites is the protection-layer fault-site list the sweep's
+// service rows arm. It is pinned to the original six sites — the
+// device sites (NIC frame drops, DMA corruption) belong to the
+// device-scenario rows below, and folding them in here would perturb
+// every committed row.
+func protectionSites() []faultinject.Site {
+	return []faultinject.Site{
+		faultinject.SiteFIFOCorrupt,
+		faultinject.SiteFIFODrop,
+		faultinject.SiteCkptBitvec,
+		faultinject.SiteCkptLine,
+		faultinject.SiteMonitorStall,
+		faultinject.SiteDRAMRead,
+	}
+}
+
+// faultSweepPlans arms every protection-layer fault site at rate,
+// seeded from the cell identity so each cell's fault pattern is fixed
+// under any worker count.
 func faultSweepPlans(rate float64, seedBase uint64) []faultinject.Plan {
+	sites := protectionSites()
+	plans := make([]faultinject.Plan, 0, len(sites))
+	for i, site := range sites {
+		plans = append(plans, faultinject.Plan{
+			Site: site,
+			Rate: rate,
+			Seed: seedBase + uint64(i),
+		})
+	}
+	return plans
+}
+
+// DeviceScenarios lists the device-attack sweep's scenarios: code
+// injection over NIC DMA, a DMA descriptor aimed at resurrector
+// memory, and tampering a daemon's stored binary on disk.
+var DeviceScenarios = []string{attack.NICInjectLabel, "dma-overreach", attack.DiskTamperLabel}
+
+// deviceSweepPlans arms every fault site — the six protection-layer
+// sites plus the NIC/DMA sites — so the device rows measure detection
+// with the device paths themselves faulty.
+func deviceSweepPlans(rate float64, seedBase uint64) []faultinject.Plan {
 	sites := faultinject.Sites()
 	plans := make([]faultinject.Plan, 0, len(sites))
 	for i, site := range sites {
@@ -74,6 +130,170 @@ func faultSweepPlans(rate float64, seedBase uint64) []faultinject.Plan {
 		})
 	}
 	return plans
+}
+
+// deviceRingPA is the scratch physical address the sweep's "driver"
+// places NIC descriptor rings at: the top page of the resurrectee
+// partition, far above the bump allocator's reach for these small
+// services.
+const deviceRingPA = 0x03FF_F000
+
+// deviceFrameCopies is how many duplicate shellcode frames the NIC
+// injection queues, so SiteNICDrop at the highest sweep rate cannot
+// plausibly defeat delivery.
+const deviceFrameCopies = 3
+
+// programNICRing writes count Ready descriptors (all aimed at bufPA,
+// sized cap) at deviceRingPA and programs the NIC over MMIO as
+// resurrector core 0, with DMA checked as the daemon's core.
+func programNICRing(ch *chip.Chip, bufPA uint32, capacity, count int, dmaCore int) error {
+	ring := make([]byte, count*device.NICDescBytes)
+	for i := 0; i < count; i++ {
+		d := ring[i*device.NICDescBytes:]
+		binary.LittleEndian.PutUint32(d[0:], bufPA)
+		binary.LittleEndian.PutUint16(d[4:], uint16(capacity))
+		binary.LittleEndian.PutUint16(d[6:], device.NICDescReady)
+	}
+	ch.HostDMAWrite(deviceRingPA, ring)
+	reg := ch.Devices()
+	for _, w := range []struct {
+		off uint32
+		val uint32
+	}{
+		{device.NICRegRingBase, deviceRingPA},
+		{device.NICRegRingLen, uint32(count)},
+		{device.NICRegDMACore, uint32(dmaCore)},
+		{device.NICRegCtrl, device.NICCtrlEnable},
+	} {
+		if err := reg.Write32(0, device.NICMMIOBase+w.off, w.val); err != nil {
+			return fmt.Errorf("faultsweep: nic setup: %w", err)
+		}
+	}
+	return nil
+}
+
+// runDeviceCell stages one device attack against httpd under the
+// cell's fault plans and reports whether the protection caught it.
+func runDeviceCell(o ExpOptions, scenario string, rate float64, seedBase uint64) (DeviceRow, error) {
+	params := workload.MustByName("httpd")
+	if o.Scale != 1.0 {
+		params = params.Scale(o.Scale)
+	}
+	prog, err := params.BuildProgram()
+	if err != nil {
+		return DeviceRow{}, err
+	}
+	stream := params.GenRequests(o.Requests, o.Seed)
+
+	cfg := chip.DefaultConfig()
+	cfg.Faults = deviceSweepPlans(rate, seedBase)
+	cfg.HeartbeatInterval = faultSweepHeartbeat
+	ch, err := chip.New(cfg)
+	if err != nil {
+		return DeviceRow{}, err
+	}
+	port := netsim.NewPort(stream)
+	if _, err := ch.LaunchService(0, "httpd", prog, port); err != nil {
+		return DeviceRow{}, err
+	}
+	dmaCore := cfg.Resurrectors // slot 0's core
+
+	row := DeviceRow{Scenario: scenario, Rate: rate}
+	aborted := func(label string) bool {
+		p := ch.ActivePort(0)
+		if p == nil {
+			p = port
+		}
+		for _, rec := range p.Records() {
+			if rec.Label == label && rec.Outcome == netsim.Aborted {
+				return true
+			}
+		}
+		return false
+	}
+	drive := func(maxInstr uint64) error {
+		next, res, err := o.drive(ch, maxInstr)
+		ch = next
+		row.Detections += res.Violations
+		if errors.Is(err, chip.ErrInstrLimit) {
+			row.Truncated = true
+			return nil
+		}
+		return err
+	}
+
+	switch scenario {
+	case attack.NICInjectLabel:
+		ni, err := attack.NewNICInject(prog)
+		if err != nil {
+			return DeviceRow{}, err
+		}
+		bufPA, ok := ch.TranslateVA(0, ni.FrameVA)
+		if !ok {
+			return DeviceRow{}, fmt.Errorf("faultsweep: frame VA %#x unmapped", ni.FrameVA)
+		}
+		if err := programNICRing(ch, bufPA, len(ni.Frame), deviceFrameCopies, dmaCore); err != nil {
+			return DeviceRow{}, err
+		}
+		for i := 0; i < deviceFrameCopies; i++ {
+			ch.NIC().QueueFrame(ni.Frame)
+		}
+		port.Enqueue(ni.Trigger)
+		if err := drive(50_000_000); err != nil {
+			return DeviceRow{}, err
+		}
+		row.Detected = aborted(attack.NICInjectLabel)
+
+	case "dma-overreach":
+		// Descriptor buffers aimed into resurrector memory: the
+		// watchdog must refuse the DMA as the daemon's core.
+		// Duplicates for the same reason as the injection frames.
+		if err := programNICRing(ch, 0x0010_0000, 64, deviceFrameCopies, dmaCore); err != nil {
+			return DeviceRow{}, err
+		}
+		for i := 0; i < deviceFrameCopies; i++ {
+			ch.NIC().QueueFrame(make([]byte, 64))
+		}
+		if err := drive(50_000_000); err != nil {
+			return DeviceRow{}, err
+		}
+		row.Detected = ch.NIC().Stats().Rejected > 0
+
+	case attack.DiskTamperLabel:
+		dt, err := attack.NewDiskTamper(prog)
+		if err != nil {
+			return DeviceRow{}, err
+		}
+		if err := drive(25_000_000); err != nil {
+			return DeviceRow{}, err
+		}
+		ext, ok := ch.Kernel().FS().Extent("bin/httpd")
+		if !ok {
+			return DeviceRow{}, fmt.Errorf("faultsweep: bin/httpd has no disk extent")
+		}
+		sec := ext.Start + dt.TextOff/device.SectorBytes
+		buf := ch.Disk().Peek(sec)
+		binary.LittleEndian.PutUint32(buf[dt.TextOff%device.SectorBytes:], dt.NewWord)
+		ch.Disk().HostWriteSector(sec, buf)
+		if err := ch.RespawnFromDisk(0); err != nil {
+			return DeviceRow{}, err
+		}
+		if p := ch.ActivePort(0); p != nil {
+			port = p
+		}
+		port.Enqueue(dt.Trigger)
+		if err := drive(25_000_000); err != nil {
+			return DeviceRow{}, err
+		}
+		row.Detected = aborted(attack.DiskTamperLabel)
+
+	default:
+		return DeviceRow{}, fmt.Errorf("faultsweep: unknown device scenario %q", scenario)
+	}
+
+	row.InjectedFaults = ch.FaultStats().TotalHits()
+	row.NICRejected = ch.NIC().Stats().Rejected
+	return row, nil
 }
 
 // stoppedClasses counts attack classes with at least one aborted
@@ -187,13 +407,38 @@ func FaultSweep(o ExpOptions) (*FaultSweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FaultSweepResult{Rows: rows}, nil
+	result := &FaultSweepResult{Rows: rows}
+
+	if !chip.LegacyDeviceWiringDefault {
+		type dcell struct {
+			scenario string
+			scIdx    int
+			rateIdx  int
+		}
+		var dcells []dcell
+		for si, sc := range DeviceScenarios {
+			for ri := range FaultSweepRates {
+				dcells = append(dcells, dcell{sc, si, ri})
+			}
+		}
+		drows, err := parallel.Run(o.pool(), dcells, func(_ int, c dcell) (DeviceRow, error) {
+			// 0x80+scIdx keeps device seeds disjoint from the
+			// service rows' svcIdx space.
+			seedBase := uint64(o.Seed)<<32 | uint64(0x80+c.scIdx)<<16 | uint64(c.rateIdx)<<8
+			return runDeviceCell(o, c.scenario, FaultSweepRates[c.rateIdx], seedBase)
+		})
+		if err != nil {
+			return nil, err
+		}
+		result.DeviceRows = drows
+	}
+	return result, nil
 }
 
 // Format renders the sweep as text.
 func (r *FaultSweepResult) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "FaultSweep: protection-layer fault injection (all %d sites armed per rate)\n", len(faultinject.Sites()))
+	fmt.Fprintf(&b, "FaultSweep: protection-layer fault injection (all %d sites armed per rate)\n", len(protectionSites()))
 	fmt.Fprintf(&b, "%-10s %8s %8s %11s %9s %13s %7s %9s\n",
 		"service", "rate", "faults", "detections", "stopped", "legit served", "avail%", "state")
 	for _, row := range r.Rows {
@@ -208,6 +453,23 @@ func (r *FaultSweepResult) Format() string {
 			row.Service, row.Rate, row.InjectedFaults, row.Detections,
 			row.AttacksStopped, len(AttackClasses),
 			row.LegitServed, row.LegitTotal, row.Availability*100, state)
+	}
+	if len(r.DeviceRows) > 0 {
+		fmt.Fprintf(&b, "\nDeviceSweep: device-path attacks on httpd (all %d sites armed per rate)\n", len(faultinject.Sites()))
+		fmt.Fprintf(&b, "%-13s %8s %8s %11s %9s %10s\n",
+			"scenario", "rate", "faults", "detections", "rejected", "outcome")
+		for _, row := range r.DeviceRows {
+			outcome := "missed"
+			switch {
+			case row.Detected:
+				outcome = "detected"
+			case row.Truncated:
+				outcome = "truncated"
+			}
+			fmt.Fprintf(&b, "%-13s %8.0e %8d %11d %9d %10s\n",
+				row.Scenario, row.Rate, row.InjectedFaults, row.Detections,
+				row.NICRejected, outcome)
+		}
 	}
 	return b.String()
 }

@@ -171,6 +171,96 @@ func NewDoSLateCrash() netsim.Request {
 	return netsim.Request{Payload: p, Label: string(DoSCrash)}
 }
 
+// Labels for the device-path attack classes (carried on request
+// records and FaultSweep device rows). They are not Kinds: each needs
+// device-side staging (a DMA'd frame, a tampered sector) that a bare
+// request stream cannot express, so they ship as scenario structs
+// below instead of through Sequence.
+const (
+	NICInjectLabel  = "nic-inject"
+	DiskTamperLabel = "disk-tamper"
+)
+
+// NICFrameOff is the reqbuf offset where an injected NIC frame lands:
+// past every preset's inline payload (the largest, httpd at scale 1,
+// stops around 900 bytes) so legitimate requests never overwrite the
+// shellcode between delivery and trigger.
+const NICFrameOff = 1536
+
+// NICInject is code injection carried by NIC DMA instead of the
+// request body: the frame holds SRV32 shellcode the NIC writes
+// straight into the victim's request buffer — a path that bypasses
+// the store-trace tap entirely — and the trigger is a stack smash
+// redirecting the return into the frame. Code origin inspection must
+// still fire at the first fetch, because the CAM tracks code regions,
+// not stores.
+type NICInject struct {
+	Frame   []byte // shellcode frame for the NIC to DMA
+	FrameVA uint32 // reqbuf+NICFrameOff, where the frame must land
+	Trigger netsim.Request
+}
+
+// NewNICInject builds the frame and its trigger from the victim image.
+func NewNICInject(prog *asm.Program) (NICInject, error) {
+	reqbuf, err := symbol(prog, "reqbuf")
+	if err != nil {
+		return NICInject{}, err
+	}
+	sled := []uint32{
+		isa.Encode(isa.Inst{Op: isa.OpAddi, Rd: isa.RV, Rs1: isa.RV, Imm: 1}),
+		isa.Encode(isa.Inst{Op: isa.OpJal, Rd: isa.R0, Imm: -4}),
+	}
+	frame := make([]byte, 4*len(sled))
+	for i, w := range sled {
+		binary.LittleEndian.PutUint32(frame[4*i:], w)
+	}
+	p := base(workload.HVuln, workload.OffBody+workload.VulnOverflowLen)
+	binary.LittleEndian.PutUint16(p[workload.OffInlineLen:], uint16(workload.VulnOverflowLen))
+	binary.LittleEndian.PutUint32(p[workload.OffBody+workload.VulnSavedLROff:], reqbuf+NICFrameOff)
+	return NICInject{
+		Frame:   frame,
+		FrameVA: reqbuf + NICFrameOff,
+		Trigger: netsim.Request{Payload: p, Label: NICInjectLabel},
+	}, nil
+}
+
+// DiskTamper is a stored-binary attack: one word of the service's
+// on-disk image is rewritten so the common-path handler's entry jumps
+// into the data segment. A daemon respawned from the tampered image
+// executes the patch on its next request, and the jump's first fetch
+// outside the registered text region trips code origin inspection —
+// the paper's argument that inspection must key on the *stored* image
+// actually loaded, not on what was once installed.
+type DiskTamper struct {
+	TextOff uint32 // byte offset of the patched word within the image
+	OldWord uint32 // original instruction at h_basic's entry
+	NewWord uint32 // jal r0 -> reqbuf (a data page)
+	Trigger netsim.Request
+}
+
+// NewDiskTamper computes the patch from the victim image.
+func NewDiskTamper(prog *asm.Program) (DiskTamper, error) {
+	entry, err := symbol(prog, "h_basic")
+	if err != nil {
+		return DiskTamper{}, err
+	}
+	reqbuf, err := symbol(prog, "reqbuf")
+	if err != nil {
+		return DiskTamper{}, err
+	}
+	off := entry - prog.TextBase
+	if int(off)+4 > len(prog.Text) {
+		return DiskTamper{}, fmt.Errorf("attack: h_basic at %#x outside image", entry)
+	}
+	p := base(workload.HBasic, workload.OffBody+16)
+	return DiskTamper{
+		TextOff: off,
+		OldWord: binary.LittleEndian.Uint32(prog.Text[off:]),
+		NewWord: isa.Encode(isa.Inst{Op: isa.OpJal, Rd: isa.R0, Imm: int32(reqbuf) - int32(entry)}),
+		Trigger: netsim.Request{Payload: p, Label: DiskTamperLabel},
+	}, nil
+}
+
 // Sequence builds the request stream for one attack kind, including
 // any second-stage trigger.
 func Sequence(kind Kind, prog *asm.Program) ([]netsim.Request, error) {

@@ -147,7 +147,22 @@ type Config struct {
 	// produces byte-identical simulations — the differential harness
 	// pins that.
 	ScalarDispatch bool
+
+	// LegacyDeviceWiring reverts boot to the pre-registry peripheral
+	// set: the disk alone, hardwired, with no NIC and no block-store
+	// backing of the fs. Unlike ScalarDispatch this is platform
+	// configuration (it changes which devices exist) and is part of
+	// snapshot identity; the device differential test pins that both
+	// wirings produce byte-identical experiment outputs.
+	LegacyDeviceWiring bool
 }
+
+// LegacyDeviceWiringDefault seeds DefaultConfig's LegacyDeviceWiring.
+// The device differential harness flips it to replay whole experiment
+// suites — including the ones that assemble chips from DefaultConfig
+// internally — on the legacy wiring. Set it only while no cells are in
+// flight.
+var LegacyDeviceWiringDefault bool
 
 // DefaultConfig mirrors the paper's evaluation platform: a dual-core
 // with Table 4's memory system, a 32-entry FIFO, a 32-entry CAM,
@@ -168,6 +183,7 @@ func DefaultConfig() Config {
 		Scheme:              SchemeDelta,
 		Recovery:            recovery.DefaultConfig(),
 		DrainInterval:       64,
+		LegacyDeviceWiring:  LegacyDeviceWiringDefault,
 	}
 }
 
@@ -183,14 +199,16 @@ func (b *BootReport) log(format string, args ...any) {
 
 // Chip is the assembled system.
 type Chip struct {
-	cfg  Config
-	phys *mem.Physical
-	wd   *watchdog.Watchdog
-	mon  *monitor.Monitor
-	rec  *recovery.Manager
-	kern *oslite.Kernel
-	disk *device.Disk
-	boot BootReport
+	cfg      Config
+	phys     *mem.Physical
+	wd       *watchdog.Watchdog
+	mon      *monitor.Monitor
+	rec      *recovery.Manager
+	kern     *oslite.Kernel
+	registry *device.Registry
+	disk     *device.Disk
+	nic      *device.NIC // nil under LegacyDeviceWiring
+	boot     BootReport
 
 	cores     []*cpu.Core
 	queues    []*fifo.Queue
@@ -214,6 +232,7 @@ type Chip struct {
 	// ranInstret is the chip-lifetime executed-instruction count that
 	// paces MetricsEvery snapshots.
 	lastDrain  []uint64
+	lastPoll   []uint64 // per-core Instret at the last device-poll boundary
 	ranInstret uint64
 
 	// Observability: the sink plus cached registry/tracer handles (nil
@@ -313,6 +332,7 @@ func New(cfg Config) (*Chip, error) {
 		monClks:   make([]uint64, cfg.Resurrectors),
 		pending:   make([]*monitor.Violation, cfg.Resurrectees),
 		lastDrain: make([]uint64, cfg.Resurrectees),
+		lastPoll:  make([]uint64, cfg.Resurrectees),
 		sink:      cfg.Obs,
 		reg:       cfg.Obs.Registry(),
 		tr:        cfg.Obs.Tracer(),
@@ -417,12 +437,40 @@ func (c *Chip) bootSequence() {
 	// so even OS-level corruption cannot mint pointers into the
 	// resurrector's space that pass the watchdog.
 	c.kern = oslite.NewKernel(c.phys, teeLo, teeHi, netMux{c}, hooksMux{c})
+
+	// Peripherals plug into the device registry; the resurrector owns
+	// the registry and every MMIO access dispatches through the same
+	// watchdog that guards CPU stores.
+	c.registry = device.NewRegistry(c.wd)
 	c.disk = device.NewDisk(c.phys, c.wd, c.lineCost)
+	c.disk.SetFaults(c.inj, func() uint64 { return c.cores[c.activeIdx].Cycles() })
 	c.kern.AttachDisk(c.disk)
+	if err := c.registry.Register(c.disk); err != nil {
+		panic(err) // boot-time wiring of fixed devices cannot collide
+	}
 	b.log("block device attached; DMA descriptors watchdog-checked per originating core")
+	if !c.cfg.LegacyDeviceWiring {
+		c.nic = device.NewNIC(c.phys, c.wd, c.inj)
+		if err := c.registry.Register(c.nic); err != nil {
+			panic(err)
+		}
+		c.kern.FS().Back(c.disk, FSBackingBaseSector)
+		b.log("nic registered at MMIO [%#x,%#x); fs backed by disk sectors %d+",
+			device.NICMMIOBase, device.NICMMIOBase+device.NICMMIOBytes, uint32(FSBackingBaseSector))
+	}
+	c.registry.StartAll()
 	b.log("resurrectee cores released; OS-lite booted on cores %d..%d (%d resurrector(s))",
 		nRes, nRes+c.cfg.Resurrectees-1, nRes)
 }
+
+// FSBackingBaseSector is the first sector the backed fs allocates file
+// extents from; sectors below it stay free for the applications' raw
+// disk syscalls (which address low sector numbers).
+const FSBackingBaseSector = 1 << 20
+
+// DevicePollInterval is how often (in per-core instructions) the run
+// loop gives pollable devices a turn while they have pending work.
+const DevicePollInterval = 64
 
 // Boot returns the boot report.
 func (c *Chip) Boot() *BootReport { return &c.boot }
@@ -525,8 +573,13 @@ func (c *Chip) LaunchService(slot int, name string, prog *asm.Program, port *net
 	st.names = append(st.names, name)
 
 	// The OS process manager posts the application's code identity to
-	// the resurrector at load time (Section 3.2.2).
+	// the resurrector at load time (Section 3.2.2), and on a backed fs
+	// the binary lands on disk sectors (the image RespawnFromDisk
+	// reloads).
 	c.registerApp(name, prog, p)
+	if c.kern.FS().Backed() {
+		c.kern.WriteFile("bin/"+name, prog.Text)
+	}
 
 	// The first process launched on a slot owns the core; further
 	// launches join the slot's round-robin schedule and are installed
@@ -720,6 +773,82 @@ func (h hooksMux) CoreID() int {
 
 // Disk exposes the platform's block device.
 func (c *Chip) Disk() *device.Disk { return c.disk }
+
+// Devices exposes the device registry (MMIO dispatch, lifecycle,
+// lookup by name).
+func (c *Chip) Devices() *device.Registry { return c.registry }
+
+// NIC exposes the platform's network interface (nil under
+// LegacyDeviceWiring).
+func (c *Chip) NIC() *device.NIC { return c.nic }
+
+// TranslateVA resolves a virtual address of the process active on
+// resurrectee slot to its physical address (device-driver setup: DMA
+// descriptors carry physical addresses).
+func (c *Chip) TranslateVA(slot int, va uint32) (uint32, bool) {
+	if slot < 0 || slot >= len(c.slots) {
+		return 0, false
+	}
+	p := c.slots[slot].activeProc()
+	if p == nil {
+		return 0, false
+	}
+	pa, _, err := p.AS.Translate(va)
+	if err != nil {
+		return 0, false
+	}
+	return pa, true
+}
+
+// HostDMAWrite stores bytes into physical memory from the host side of
+// the platform (driver setup: publishing DMA descriptor rings). The
+// write goes through the same page write-version path as device DMA,
+// so predecoded blocks over the touched pages are invalidated.
+func (c *Chip) HostDMAWrite(pa uint32, b []byte) { c.phys.WriteBytes(pa, b) }
+
+// RespawnFromDisk reloads the active service of a resurrectee slot from
+// its on-disk binary (bin/<name>, written at launch on a backed fs):
+// the daemon-restart path a disk-sector tamper attack targets. The
+// fresh process runs whatever the sectors now hold; its text pages are
+// re-registered as the service's code identity, so tampered *code*
+// executes — and only a control transfer out of the code region (the
+// tamper's payload) trips code-origin inspection.
+func (c *Chip) RespawnFromDisk(slot int) error {
+	if slot < 0 || slot >= len(c.cores) {
+		return fmt.Errorf("chip: no resurrectee slot %d", slot)
+	}
+	st := &c.slots[slot]
+	if len(st.procs) == 0 {
+		return fmt.Errorf("chip: slot %d has no service", slot)
+	}
+	i := st.active
+	data, ok := c.kern.ReadFile("bin/" + st.names[i])
+	if !ok || len(data) == 0 {
+		return fmt.Errorf("chip: no binary bin/%s on the fs (unbacked fs?)", st.names[i])
+	}
+	prog := *st.progs[i]
+	prog.Text = data
+	var newScheme func(checkpoint.Memory) checkpoint.Scheme
+	if c.cfg.Scheme != SchemeNone {
+		newScheme = c.newScheme
+	}
+	p, err := c.kern.Spawn(oslite.SpawnConfig{Name: st.names[i], Prog: &prog, NewScheme: newScheme})
+	if err != nil {
+		return err
+	}
+	st.procs[i] = p
+	st.ctxs[i] = c.kern.InitialContext(p)
+	st.progs[i] = &prog
+	c.registerApp(st.names[i], &prog, p)
+	c.armTamperer(slot, p.Ckpt)
+	c.instrumentCkpt(slot, p)
+
+	core := c.cores[slot]
+	core.SetProcess(p.PID, p.AS)
+	core.Restore(st.ctxs[i], true)
+	core.SetHalted(false)
+	return nil
+}
 
 // Introspect reads n bytes of a resurrectee process's virtual memory
 // through the resurrector's privileges — the paper's "the resurrector

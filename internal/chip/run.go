@@ -279,6 +279,13 @@ func (c *Chip) Run(maxInstr uint64) (RunResult, error) {
 				}
 			}
 
+			// Pollable devices (DMA engines with queued work) get a turn
+			// at fixed instruction boundaries; idle devices cost nothing.
+			if c.registry.NeedsPoll() && core.Stats().Instret-c.lastPoll[idx] >= DevicePollInterval {
+				c.registry.Poll(core.Cycles())
+				c.lastPoll[idx] = core.Stats().Instret
+			}
+
 			// A halted core stops emitting, but the resurrector keeps
 			// consuming: drain the FIFO fully so trailing records (the
 			// final instructions before a HALT) are still verified.
@@ -410,6 +417,20 @@ func (c *Chip) runThreaded(maxInstr uint64) (RunResult, error) {
 				budget = t
 			}
 		}
+		// Device-poll boundaries fold in like the others. NeedsPoll can
+		// only flip false mid-visit (a poll consumed the last frame at a
+		// boundary; frames are queued host-side, never during a visit),
+		// so a budget computed while work is pending never overshoots a
+		// boundary the scalar loop would poll at.
+		if c.registry.NeedsPoll() {
+			t := uint64(1)
+			if delta := core.Stats().Instret - c.lastPoll[idx]; delta < DevicePollInterval {
+				t = DevicePollInterval - delta
+			}
+			if t < budget {
+				budget = t
+			}
+		}
 
 		executed, err := core.RunBlocks(budget)
 
@@ -429,6 +450,13 @@ func (c *Chip) runThreaded(maxInstr uint64) (RunResult, error) {
 		}
 
 		if !skipChecks {
+			// The scalar loop's heartbeat `continue` skips the poll too,
+			// so it lives behind the same guard here.
+			if c.registry.NeedsPoll() && core.Stats().Instret-c.lastPoll[idx] >= DevicePollInterval {
+				c.registry.Poll(core.Cycles())
+				c.lastPoll[idx] = core.Stats().Instret
+			}
+
 			if c.cfg.Monitoring && core.Halted() {
 				for {
 					head, ok := c.queues[idx].Pop()

@@ -76,7 +76,7 @@ func (c *Chip) EncodeState(w *wire.Writer) {
 	c.kern.EncodeState(w)
 	c.dram.EncodeState(w)
 	c.wd.EncodeState(w)
-	c.disk.EncodeState(w)
+	c.registry.EncodeState(w)
 	c.mon.EncodeState(w)
 	c.rec.EncodeState(w)
 
@@ -187,6 +187,9 @@ func (c *Chip) EncodeState(w *wire.Writer) {
 	for _, v := range c.lastDrain {
 		w.U64(v)
 	}
+	for _, v := range c.lastPoll {
+		w.U64(v)
+	}
 }
 
 // violationWireMin is the minimum encoded size of one Violation.
@@ -203,7 +206,7 @@ func (c *Chip) DecodeState(r *wire.Reader) {
 	c.kern.DecodeState(r)
 	c.dram.DecodeState(r)
 	c.wd.DecodeState(r)
-	c.disk.DecodeState(r)
+	c.registry.DecodeState(r)
 	c.mon.DecodeState(r)
 	c.rec.DecodeState(r)
 
@@ -381,6 +384,9 @@ func (c *Chip) DecodeState(r *wire.Reader) {
 	c.ranInstret = r.U64()
 	for i := range c.lastDrain {
 		c.lastDrain[i] = r.U64()
+	}
+	for i := range c.lastPoll {
+		c.lastPoll[i] = r.U64()
 	}
 	if r.Err() != nil {
 		return

@@ -339,13 +339,17 @@ func (r *Router) forward(ctx context.Context, key indra.CellKey, timeout time.Du
 }
 
 // remember keeps a bounded copy of successful results so an ejected
-// worker's keys can warm their new owners (peer cache fill).
+// worker's keys can warm their new owners (peer cache fill). Past the
+// FillEntries bound an arbitrary entry is evicted — that key's owner,
+// if later ejected, answers cold — and the eviction is counted so
+// operators can see an undersized bound instead of silent forgetting.
 func (r *Router) remember(key, output, owner string) {
 	r.recentMu.Lock()
 	defer r.recentMu.Unlock()
 	if _, ok := r.recent[key]; !ok && len(r.recent) >= r.cfg.FillEntries {
 		for k := range r.recent { // evict an arbitrary entry
 			delete(r.recent, k)
+			r.m.fillEvicted.Inc()
 			break
 		}
 	}

@@ -450,6 +450,43 @@ func TestRouterAllWorkersDead(t *testing.T) {
 	}
 }
 
+// TestRememberEviction pins the peer-fill memory's bound: past
+// FillEntries each new key evicts exactly one old entry, the eviction
+// is counted (cluster.fill.evicted), and re-remembering a resident key
+// neither grows the map nor evicts.
+func TestRememberEviction(t *testing.T) {
+	r, _ := newTestRouter(t, Config{FillEntries: 2}, 1)
+
+	r.remember("k1", "o1", "w0")
+	r.remember("k2", "o2", "w0")
+	if got := r.Metrics().Counters["cluster.fill.evicted"]; got != 0 {
+		t.Fatalf("evictions before the bound: %d", got)
+	}
+
+	// Resident key at the bound: update in place, no eviction.
+	r.remember("k1", "o1b", "w0")
+	if got := r.Metrics().Counters["cluster.fill.evicted"]; got != 0 {
+		t.Fatalf("re-remembering a resident key evicted: %d", got)
+	}
+
+	// Fresh keys past the bound: one eviction each, size pinned.
+	r.remember("k3", "o3", "w0")
+	r.remember("k4", "o4", "w0")
+	if got := r.Metrics().Counters["cluster.fill.evicted"]; got != 2 {
+		t.Fatalf("evictions = %d, want 2", got)
+	}
+	r.recentMu.Lock()
+	size := len(r.recent)
+	_, hasK4 := r.recent["k4"]
+	r.recentMu.Unlock()
+	if size != 2 {
+		t.Fatalf("remember map size %d, want FillEntries bound 2", size)
+	}
+	if !hasK4 {
+		t.Fatal("newest key missing after eviction")
+	}
+}
+
 func removeID(ids []string, id string) []string {
 	var out []string
 	for _, x := range ids {

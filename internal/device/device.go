@@ -13,6 +13,7 @@ package device
 import (
 	"fmt"
 
+	"indra/internal/faultinject"
 	"indra/internal/mem"
 	"indra/internal/watchdog"
 )
@@ -80,6 +81,8 @@ type Disk struct {
 	// cache hit so I/O-heavy handlers stay in proportion.
 	seekCycles uint64
 	stats      Stats
+	inj        *faultinject.Injector
+	now        func() uint64
 }
 
 // NewDisk creates a disk over the platform's physical memory, watchdog
@@ -97,6 +100,28 @@ func NewDisk(phys *mem.Physical, wd *watchdog.Watchdog, cost CostFunc) *Disk {
 	}
 }
 
+// Name implements Device.
+func (d *Disk) Name() string { return "disk0" }
+
+// Start implements Device.
+func (d *Disk) Start() {}
+
+// Stop implements Device.
+func (d *Disk) Stop() {}
+
+// Reset implements Device. The sector store is non-volatile and
+// survives a reset by design (Section 3.3.3: disk contents, once
+// written, are never rolled back).
+func (d *Disk) Reset() {}
+
+// SetFaults arms the disk's DMA path with a fault injector and a cycle
+// clock (CorruptDMA decisions are keyed on the current cycle). Either
+// may be nil to disarm.
+func (d *Disk) SetFaults(inj *faultinject.Injector, now func() uint64) {
+	d.inj = inj
+	d.now = now
+}
+
 // Stats returns a snapshot of the counters.
 func (d *Disk) Stats() Stats { return d.stats }
 
@@ -108,6 +133,19 @@ func (d *Disk) Peek(sector uint32) []byte {
 	out := make([]byte, SectorBytes)
 	copy(out, d.sectors[sector])
 	return out
+}
+
+// HostWriteSector stores one sector from the host side, bypassing the
+// DMA engine entirely: no watchdog check, no cycles, no stats. This is
+// the platform back door the storage-backed fs uses to persist file
+// mutations (which are already priced by the syscall layer) — and the
+// surface a disk-tamper attack scenario uses to corrupt a binary at
+// rest. data longer than a sector is truncated; shorter is
+// zero-padded.
+func (d *Disk) HostWriteSector(sector uint32, data []byte) {
+	buf := make([]byte, SectorBytes)
+	copy(buf, data)
+	d.sectors[sector] = buf
 }
 
 // check validates one sector-sized physical range for the originating
@@ -145,6 +183,14 @@ func (d *Disk) ReadSectors(core int, sector uint32, pas []uint32) (uint64, error
 		buf := d.sectors[s]
 		if buf == nil {
 			buf = make([]byte, SectorBytes)
+		}
+		// A DMACorrupt fault strikes the in-flight copy on the bus; the
+		// device-side sector stays intact.
+		if d.inj != nil && d.now != nil && d.inj.Armed(faultinject.SiteDMACorrupt) {
+			tmp := make([]byte, SectorBytes)
+			copy(tmp, buf)
+			d.inj.CorruptDMA(d.now(), tmp)
+			buf = tmp
 		}
 		d.phys.WriteBytes(pa, buf)
 		cycles += d.cost(SectorBytes)

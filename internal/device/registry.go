@@ -1,0 +1,230 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"indra/internal/snapshot/wire"
+	"indra/internal/watchdog"
+)
+
+// Device is one peripheral plugged into the platform. Construction-time
+// wiring (physical memory, watchdog, cost model) belongs to the
+// concrete type; the registry owns lifecycle, MMIO dispatch, polling
+// and snapshot participation.
+//
+// Lifecycle: Start arms the device when the chip boots, Stop quiesces
+// it on halt/release, Reset returns volatile state to power-on values
+// (non-volatile state — a disk's sectors — survives Reset by design).
+type Device interface {
+	Name() string
+	Start()
+	Stop()
+	Reset()
+	// EncodeState / DecodeState serialize the device's runtime state.
+	// Boot-time wiring is reconstructed by the chip before restore, so
+	// only mutable state crosses the wire.
+	EncodeState(w *wire.Writer)
+	DecodeState(r *wire.Reader)
+}
+
+// MMIOHandler is implemented by devices that claim a physical-address
+// window for register access. The registry validates every access
+// against the memory watchdog *before* dispatching, so a low-privileged
+// core reaching for a device window takes the same violation path as
+// any other insulation breach.
+type MMIOHandler interface {
+	Device
+	// MMIORegion returns the claimed half-open PA window [lo, hi).
+	MMIORegion() (lo, hi uint32)
+	ReadMMIO(core int, addr uint32) (uint32, error)
+	WriteMMIO(core int, addr uint32, val uint32) error
+}
+
+// Poller is implemented by devices that make autonomous progress (DMA
+// engines draining queues). The chip run loop calls Poll at
+// deterministic instruction boundaries; PollPending lets the loop skip
+// the call entirely when the device is idle, keeping polling free on
+// runs that never touch the device.
+type Poller interface {
+	Device
+	Poll(now uint64)
+	PollPending() bool
+}
+
+type mmioEntry struct {
+	lo, hi uint32
+	h      MMIOHandler
+}
+
+// Registry holds the platform's peripherals in registration order and
+// routes MMIO, poll and snapshot traffic to them. Not safe for
+// concurrent use: the chip steps cores on a single goroutine and each
+// chip owns its own registry.
+type Registry struct {
+	wd      *watchdog.Watchdog
+	devices []Device
+	byName  map[string]Device
+	mmio    []mmioEntry
+	pollers []Poller
+}
+
+// NewRegistry creates an empty registry over the platform watchdog.
+func NewRegistry(wd *watchdog.Watchdog) *Registry {
+	return &Registry{wd: wd, byName: make(map[string]Device)}
+}
+
+// Register plugs a device in. Duplicate names and overlapping MMIO
+// claims are rejected: the registry is programmed by platform code at
+// boot, so both are wiring bugs worth failing loudly on.
+func (r *Registry) Register(d Device) error {
+	name := d.Name()
+	if name == "" {
+		return fmt.Errorf("device: empty device name")
+	}
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("device: duplicate device %q", name)
+	}
+	if h, ok := d.(MMIOHandler); ok {
+		lo, hi := h.MMIORegion()
+		if lo >= hi {
+			return fmt.Errorf("device: %q claims empty MMIO window [%#x, %#x)", name, lo, hi)
+		}
+		for _, e := range r.mmio {
+			if lo < e.hi && e.lo < hi {
+				return fmt.Errorf("device: %q MMIO window [%#x, %#x) overlaps %q [%#x, %#x)",
+					name, lo, hi, e.h.Name(), e.lo, e.hi)
+			}
+		}
+		r.mmio = append(r.mmio, mmioEntry{lo: lo, hi: hi, h: h})
+		sort.Slice(r.mmio, func(i, j int) bool { return r.mmio[i].lo < r.mmio[j].lo })
+	}
+	if p, ok := d.(Poller); ok {
+		r.pollers = append(r.pollers, p)
+	}
+	r.devices = append(r.devices, d)
+	r.byName[name] = d
+	return nil
+}
+
+// Lookup returns a registered device by name.
+func (r *Registry) Lookup(name string) (Device, bool) {
+	d, ok := r.byName[name]
+	return d, ok
+}
+
+// Devices returns the devices in registration order.
+func (r *Registry) Devices() []Device { return r.devices }
+
+// claims returns the handler owning addr, if any.
+func (r *Registry) claims(addr uint32) (MMIOHandler, bool) {
+	for _, e := range r.mmio {
+		if addr >= e.lo && addr < e.hi {
+			return e.h, true
+		}
+	}
+	return nil, false
+}
+
+// Read32 dispatches a 32-bit MMIO read by core. The watchdog check runs
+// first: an unprivileged core touching a device window is an insulation
+// violation before it is a device access.
+func (r *Registry) Read32(core int, addr uint32) (uint32, error) {
+	if err := r.wd.Check(core, addr, watchdog.Read); err != nil {
+		return 0, err
+	}
+	h, ok := r.claims(addr)
+	if !ok {
+		return 0, fmt.Errorf("device: no device claims MMIO address %#x", addr)
+	}
+	return h.ReadMMIO(core, addr)
+}
+
+// Write32 dispatches a 32-bit MMIO write by core, watchdog-checked.
+func (r *Registry) Write32(core int, addr uint32, val uint32) error {
+	if err := r.wd.Check(core, addr, watchdog.Write); err != nil {
+		return err
+	}
+	h, ok := r.claims(addr)
+	if !ok {
+		return fmt.Errorf("device: no device claims MMIO address %#x", addr)
+	}
+	return h.WriteMMIO(core, addr, val)
+}
+
+// StartAll / StopAll / ResetAll run the lifecycle hooks in registration
+// order (Stop in reverse, mirroring bring-up).
+func (r *Registry) StartAll() {
+	for _, d := range r.devices {
+		d.Start()
+	}
+}
+
+func (r *Registry) StopAll() {
+	for i := len(r.devices) - 1; i >= 0; i-- {
+		r.devices[i].Stop()
+	}
+}
+
+func (r *Registry) ResetAll() {
+	for _, d := range r.devices {
+		d.Reset()
+	}
+}
+
+// NeedsPoll reports whether any poller has pending work. The chip run
+// loop gates its poll boundaries on this so idle devices cost nothing.
+func (r *Registry) NeedsPoll() bool {
+	for _, p := range r.pollers {
+		if p.PollPending() {
+			return true
+		}
+	}
+	return false
+}
+
+// Poll gives every poller one deterministic turn at cycle now.
+func (r *Registry) Poll(now uint64) {
+	for _, p := range r.pollers {
+		p.Poll(now)
+	}
+}
+
+// EncodeState writes every device's state in registration order, each
+// tagged with its name so a wiring mismatch fails decode loudly rather
+// than silently misassigning state.
+func (r *Registry) EncodeState(w *wire.Writer) {
+	w.Len(len(r.devices))
+	for _, d := range r.devices {
+		w.String(d.Name())
+		d.EncodeState(w)
+	}
+}
+
+// DecodeState restores device state in place. The restoring chip must
+// have registered the same devices in the same order (device wiring is
+// boot-time configuration, rebuilt before restore).
+func (r *Registry) DecodeState(rd *wire.Reader) {
+	n := rd.Len(1)
+	if rd.Err() != nil {
+		return
+	}
+	if n != len(r.devices) {
+		rd.Failf("device: snapshot has %d devices, registry has %d", n, len(r.devices))
+		return
+	}
+	for _, d := range r.devices {
+		name := rd.String()
+		if rd.Err() != nil {
+			return
+		}
+		if name != d.Name() {
+			rd.Failf("device: snapshot device %q, registry expects %q", name, d.Name())
+			return
+		}
+		d.DecodeState(rd)
+		if rd.Err() != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package device
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"indra/internal/mem"
+	"indra/internal/snapshot/wire"
+	"indra/internal/watchdog"
+)
+
+// Test topology, matching testDisk: core 0 privileged, core 1 owns
+// [0x10000, 0x80000) of a 1 MB memory. The NIC's MMIO window sits far
+// outside any partition, so only core 0 can program it.
+func testNIC() (*NIC, *mem.Physical, *watchdog.Watchdog) {
+	phys := mem.NewPhysical(1 << 20)
+	wd := watchdog.New(watchdog.Config{
+		Privileged: watchdog.CoreMask(0),
+		Partitions: []watchdog.Partition{
+			{Lo: 0x10000, Hi: 0x80000, Cores: watchdog.CoreMask(1)},
+		},
+	})
+	return NewNIC(phys, wd, nil), phys, wd
+}
+
+// program writes the NIC registers as core 0 through the registry,
+// failing the test on any refusal.
+func program(t *testing.T, r *Registry, ringBase, ringLen, dmaCore uint32) {
+	t.Helper()
+	for _, w := range []struct{ off, val uint32 }{
+		{NICRegRingBase, ringBase},
+		{NICRegRingLen, ringLen},
+		{NICRegDMACore, dmaCore},
+		{NICRegCtrl, NICCtrlEnable},
+	} {
+		if err := r.Write32(0, NICMMIOBase+w.off, w.val); err != nil {
+			t.Fatalf("program reg %#x: %v", w.off, err)
+		}
+	}
+}
+
+// writeDesc publishes one descriptor at slot i of a ring at ringPA.
+func writeDesc(phys *mem.Physical, ringPA uint32, i int, bufPA uint32, capacity, flags uint16) {
+	var d [NICDescBytes]byte
+	binary.LittleEndian.PutUint32(d[0:], bufPA)
+	binary.LittleEndian.PutUint16(d[4:], capacity)
+	binary.LittleEndian.PutUint16(d[6:], flags)
+	phys.WriteBytes(ringPA+uint32(i)*NICDescBytes, d[:])
+}
+
+func readDesc(phys *mem.Physical, ringPA uint32, i int) (length, flags uint16) {
+	var d [NICDescBytes]byte
+	phys.ReadBytes(ringPA+uint32(i)*NICDescBytes, d[:])
+	return binary.LittleEndian.Uint16(d[4:]), binary.LittleEndian.Uint16(d[6:])
+}
+
+func TestRegistryMMIODispatch(t *testing.T) {
+	nic, _, wd := testNIC()
+	r := NewRegistry(wd)
+	if err := r.Register(nic); err != nil {
+		t.Fatal(err)
+	}
+
+	// Privileged core: full register access.
+	if err := r.Write32(0, NICMMIOBase+NICRegRingLen, 4); err != nil {
+		t.Fatalf("privileged write: %v", err)
+	}
+	v, err := r.Read32(0, NICMMIOBase+NICRegRingLen)
+	if err != nil || v != 4 {
+		t.Fatalf("read back %d, %v", v, err)
+	}
+
+	// Resurrectee core reaching for the device window: watchdog
+	// violation before any device sees the access.
+	if _, err := r.Read32(1, NICMMIOBase+NICRegCtrl); err == nil {
+		t.Fatal("unprivileged MMIO read allowed")
+	}
+	if err := r.Write32(1, NICMMIOBase+NICRegCtrl, 1); err == nil {
+		t.Fatal("unprivileged MMIO write allowed")
+	}
+	if wd.Violations() == 0 {
+		t.Fatal("MMIO breach not recorded as a watchdog violation")
+	}
+
+	// Unclaimed addresses are dispatch errors, not panics.
+	if _, err := r.Read32(0, 0xE000_0000); err == nil {
+		t.Fatal("read of unclaimed address succeeded")
+	}
+	// Status register is read-only.
+	if err := r.Write32(0, NICMMIOBase+NICRegStatus, 1); err == nil {
+		t.Fatal("write to read-only status register succeeded")
+	}
+}
+
+func TestRegistryRejectsBadWiring(t *testing.T) {
+	nic, phys, wd := testNIC()
+	r := NewRegistry(wd)
+	if err := r.Register(nic); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate name.
+	if err := r.Register(NewNIC(phys, wd, nil)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+	// Overlapping MMIO claim.
+	ov := &fakeMMIO{name: "ov", lo: NICMMIOBase + 0x80, hi: NICMMIOBase + 0x200}
+	if err := r.Register(ov); err == nil || !strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("overlapping claim: %v", err)
+	}
+	// Empty window.
+	if err := r.Register(&fakeMMIO{name: "e", lo: 8, hi: 8}); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	// Disjoint second device is fine.
+	if err := r.Register(&fakeMMIO{name: "ok", lo: 0xE000_0000, hi: 0xE000_0010}); err != nil {
+		t.Fatalf("disjoint claim rejected: %v", err)
+	}
+}
+
+func TestNICDeliversFrame(t *testing.T) {
+	nic, phys, wd := testNIC()
+	r := NewRegistry(wd)
+	if err := r.Register(nic); err != nil {
+		t.Fatal(err)
+	}
+	const ringPA, bufPA = 0x20000, 0x30000
+	writeDesc(phys, ringPA, 0, bufPA, 64, NICDescReady)
+	writeDesc(phys, ringPA, 1, bufPA+64, 64, NICDescReady)
+	program(t, r, ringPA, 2, 1)
+
+	frame := []byte("GET / HTTP/1.0\r\n")
+	if !nic.QueueFrame(frame) {
+		t.Fatal("frame refused")
+	}
+	if !r.NeedsPoll() {
+		t.Fatal("pending frame but NeedsPoll false")
+	}
+	verBefore := phys.PageVersion(bufPA)
+	r.Poll(1)
+
+	got := make([]byte, len(frame))
+	phys.ReadBytes(bufPA, got)
+	if string(got) != string(frame) {
+		t.Fatalf("delivered %q", got)
+	}
+	if length, flags := readDesc(phys, ringPA, 0); length != uint16(len(frame)) || flags != NICDescDone {
+		t.Fatalf("descriptor write-back length=%d flags=%#x", length, flags)
+	}
+	if phys.PageVersion(bufPA) == verBefore {
+		t.Fatal("DMA fill did not bump the page write version")
+	}
+	if s := nic.Stats(); s.Frames != 1 || s.Bytes != uint64(len(frame)) {
+		t.Fatalf("stats %+v", s)
+	}
+	if v, _ := nic.ReadMMIO(0, NICMMIOBase+NICRegHead); v != 1 {
+		t.Fatalf("head %d after delivery", v)
+	}
+	if r.NeedsPoll() {
+		t.Fatal("queue drained but NeedsPoll true")
+	}
+
+	// Not-ready descriptor: the frame waits (stall, no loss).
+	writeDesc(phys, ringPA, 1, bufPA+64, 64, 0)
+	nic.QueueFrame(frame)
+	r.Poll(2)
+	if s := nic.Stats(); s.Stalls != 1 || s.Frames != 1 {
+		t.Fatalf("stall handling: %+v", s)
+	}
+	if nic.PendingFrames() != 1 {
+		t.Fatal("stalled frame was consumed")
+	}
+}
+
+func TestNICOverrunRejected(t *testing.T) {
+	nic, phys, wd := testNIC()
+	r := NewRegistry(wd)
+	if err := r.Register(nic); err != nil {
+		t.Fatal(err)
+	}
+	const ringPA, bufPA = 0x20000, 0x30000
+	writeDesc(phys, ringPA, 0, bufPA, 8, NICDescReady)
+	program(t, r, ringPA, 1, 1)
+	nic.QueueFrame(make([]byte, 64)) // 64 > capacity 8
+	r.Poll(1)
+	if s := nic.Stats(); s.Rejected != 1 || s.Frames != 0 {
+		t.Fatalf("overrun stats %+v", s)
+	}
+	if _, flags := readDesc(phys, ringPA, 0); flags != NICDescDone|NICDescError {
+		t.Fatalf("overrun flags %#x", flags)
+	}
+	if phys.Read32(bufPA) != 0 {
+		t.Fatal("overrun frame partially delivered")
+	}
+}
+
+func TestNICDMAInsulation(t *testing.T) {
+	nic, phys, wd := testNIC()
+	r := NewRegistry(wd)
+	if err := r.Register(nic); err != nil {
+		t.Fatal(err)
+	}
+	// Buffer aimed at the resurrector's memory: refused, engine lives.
+	const ringPA = 0x20000
+	writeDesc(phys, ringPA, 0, 0x1000, 64, NICDescReady)
+	program(t, r, ringPA, 1, 1)
+	nic.QueueFrame(make([]byte, 16))
+	r.Poll(1)
+	if s := nic.Stats(); s.Rejected != 1 {
+		t.Fatalf("overreach stats %+v", s)
+	}
+	if phys.Read32(0x1000) != 0 {
+		t.Fatal("DMA breached the resurrector's memory")
+	}
+	if _, flags := readDesc(phys, ringPA, 0); flags != NICDescDone|NICDescError {
+		t.Fatalf("overreach flags %#x", flags)
+	}
+
+	// Ring itself outside the DMA principal's partition: engine killed.
+	nic.Reset()
+	program(t, r, 0x1000, 1, 1)
+	nic.QueueFrame(make([]byte, 16))
+	r.Poll(2)
+	if s := nic.Stats(); s.Rejected != 1 {
+		t.Fatalf("rogue-ring stats %+v", s)
+	}
+	if v, _ := nic.ReadMMIO(0, NICMMIOBase+NICRegCtrl); v != 0 {
+		t.Fatal("engine still enabled after rogue ring fetch")
+	}
+
+	// Ring beyond physical memory with a privileged DMA principal:
+	// refused by the bounds check, not a slice panic.
+	nic.Reset()
+	program(t, r, 0xFFFF_FFF0, 1, 0)
+	nic.QueueFrame(make([]byte, 16))
+	r.Poll(3)
+	if s := nic.Stats(); s.Rejected != 1 {
+		t.Fatalf("out-of-range ring stats %+v", s)
+	}
+}
+
+func TestNICSnapshotRoundTrip(t *testing.T) {
+	nic, phys, wd := testNIC()
+	const ringPA = 0x20000
+	writeDesc(phys, ringPA, 0, 0x30000, 64, NICDescReady)
+	nic.WriteMMIO(0, NICMMIOBase+NICRegRingBase, ringPA)
+	nic.WriteMMIO(0, NICMMIOBase+NICRegRingLen, 2)
+	nic.WriteMMIO(0, NICMMIOBase+NICRegDMACore, 1)
+	nic.WriteMMIO(0, NICMMIOBase+NICRegCtrl, NICCtrlEnable)
+	nic.QueueFrame([]byte("mid-receive"))
+	nic.QueueFrame([]byte("second"))
+
+	var w wire.Writer
+	nic.EncodeState(&w)
+
+	restored := NewNIC(phys, wd, nil)
+	rd := wire.NewReader(w.Bytes())
+	restored.DecodeState(rd)
+	if err := rd.Close(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if restored.PendingFrames() != 2 {
+		t.Fatalf("pending frames %d after restore", restored.PendingFrames())
+	}
+	if !restored.PollPending() {
+		t.Fatal("restored NIC reports no pending work")
+	}
+	// The restored engine must deliver exactly as the original would.
+	restored.Poll(1)
+	got := make([]byte, len("mid-receive"))
+	phys.ReadBytes(0x30000, got)
+	if string(got) != "mid-receive" {
+		t.Fatalf("restored NIC delivered %q", got)
+	}
+
+	// A corrupt blob (ring geometry out of bounds) must fail decode.
+	var bad wire.Writer
+	bad.Bool(true)
+	bad.U32(0)                  // ringBase
+	bad.U32(NICRingEntries + 1) // ringLen beyond the cap
+	bad.U32(0)                  // head
+	bad.U32(0)                  // dmaCore
+	bad.Len(0)                  // no pending frames
+	for i := 0; i < 5; i++ {
+		bad.U64(0)
+	}
+	rd = wire.NewReader(bad.Bytes())
+	NewNIC(phys, wd, nil).DecodeState(rd)
+	if rd.Err() == nil {
+		t.Fatal("oversized ring length decoded")
+	}
+}
+
+// fakeMMIO is a minimal MMIOHandler for wiring tests.
+type fakeMMIO struct {
+	name   string
+	lo, hi uint32
+}
+
+func (f *fakeMMIO) Name() string                 { return f.name }
+func (f *fakeMMIO) Start()                       {}
+func (f *fakeMMIO) Stop()                        {}
+func (f *fakeMMIO) Reset()                       {}
+func (f *fakeMMIO) EncodeState(*wire.Writer)     {}
+func (f *fakeMMIO) DecodeState(*wire.Reader)     {}
+func (f *fakeMMIO) MMIORegion() (uint32, uint32) { return f.lo, f.hi }
+func (f *fakeMMIO) ReadMMIO(int, uint32) (uint32, error) {
+	return 0xDEAD, nil
+}
+func (f *fakeMMIO) WriteMMIO(int, uint32, uint32) error { return nil }

@@ -27,6 +27,63 @@ func (d *Disk) EncodeState(w *wire.Writer) {
 	w.U64(d.stats.Cycles)
 }
 
+// EncodeState writes the NIC's volatile state: register file, DMA
+// cursor, the wire-side frame queue (so a restore mid-receive resumes
+// the exact delivery schedule) and counters.
+func (n *NIC) EncodeState(w *wire.Writer) {
+	w.Bool(n.enabled)
+	w.U32(n.ringBase)
+	w.U32(n.ringLen)
+	w.U32(n.head)
+	w.U32(n.dmaCore)
+	w.Len(len(n.pending))
+	for _, f := range n.pending {
+		w.Blob(f)
+	}
+	w.U64(n.stats.Frames)
+	w.U64(n.stats.Bytes)
+	w.U64(n.stats.Dropped)
+	w.U64(n.stats.Rejected)
+	w.U64(n.stats.Stalls)
+}
+
+// DecodeState restores the NIC in place.
+func (n *NIC) DecodeState(r *wire.Reader) {
+	n.enabled = r.Bool()
+	n.ringBase = r.U32()
+	n.ringLen = r.U32()
+	n.head = r.U32()
+	n.dmaCore = r.U32()
+	if r.Err() != nil {
+		return
+	}
+	if n.ringLen > NICRingEntries {
+		r.Failf("nic: ring length %d exceeds %d", n.ringLen, NICRingEntries)
+		return
+	}
+	if n.ringLen != 0 && n.head >= n.ringLen {
+		r.Failf("nic: head %d outside ring of %d", n.head, n.ringLen)
+		return
+	}
+	cnt := r.Len(4)
+	if r.Err() != nil {
+		return
+	}
+	if cnt > nicMaxPending {
+		r.Failf("nic: %d pending frames exceeds %d", cnt, nicMaxPending)
+		return
+	}
+	n.pending = nil
+	for i := 0; i < cnt; i++ {
+		n.pending = append(n.pending, r.Blob())
+	}
+	n.stats.Frames = r.U64()
+	n.stats.Bytes = r.U64()
+	n.stats.Dropped = r.U64()
+	n.stats.Rejected = r.U64()
+	n.stats.Stalls = r.U64()
+}
+
 // DecodeState rebuilds the sector store in place; sector keys must be
 // strictly ascending (canonical form).
 func (d *Disk) DecodeState(r *wire.Reader) {

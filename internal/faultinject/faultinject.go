@@ -44,6 +44,13 @@ const (
 	// SiteDRAMRead flips one bit in a line read back from the backup
 	// region during lazy rollback (a transient DRAM read fault).
 	SiteDRAMRead
+	// SiteNICDrop silently drops a frame pending in the NIC before its
+	// DMA engine copies it into guest memory (lossy link or a transient
+	// fault in the receive queue).
+	SiteNICDrop
+	// SiteDMACorrupt flips one bit in a device DMA payload as it crosses
+	// the bus into physical memory (NIC receive or disk sector read).
+	SiteDMACorrupt
 
 	numSites
 )
@@ -55,6 +62,8 @@ var siteNames = [numSites]string{
 	SiteCkptLine:     "ckpt-line",
 	SiteMonitorStall: "monitor-stall",
 	SiteDRAMRead:     "dram-read",
+	SiteNICDrop:      "nic-drop",
+	SiteDMACorrupt:   "dma-corrupt",
 }
 
 func (s Site) String() string {
@@ -277,6 +286,29 @@ func (in *Injector) CorruptDRAMRead(now uint64, line []byte) bool {
 	raw, ok := in.hit(SiteDRAMRead, now)
 	if ok {
 		flipBit(raw, line)
+	}
+	return ok
+}
+
+// DropFrame decides whether a frame pending in the NIC at cycle now is
+// silently lost before DMA (SiteNICDrop).
+func (in *Injector) DropFrame(now uint64) bool {
+	if !in.Armed(SiteNICDrop) {
+		return false
+	}
+	_, ok := in.hit(SiteNICDrop, now)
+	return ok
+}
+
+// CorruptDMA flips one bit in a device DMA payload crossing the bus at
+// cycle now (SiteDMACorrupt). Reports whether a fault was injected.
+func (in *Injector) CorruptDMA(now uint64, buf []byte) bool {
+	if !in.Armed(SiteDMACorrupt) {
+		return false
+	}
+	raw, ok := in.hit(SiteDMACorrupt, now)
+	if ok {
+		flipBit(raw, buf)
 	}
 	return ok
 }

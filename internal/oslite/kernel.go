@@ -141,6 +141,25 @@ func NewKernel(phys *mem.Physical, regionLo, regionHi uint32, net NetPort, hooks
 // FS exposes the kernel's file system for workload setup and checks.
 func (k *Kernel) FS() *FS { return k.fs }
 
+// WriteFile installs a file kernel-side (platform/boot path: service
+// binaries land in the fs before the service starts). On a backed FS
+// the contents write through to sectors.
+func (k *Kernel) WriteFile(name string, data []byte) {
+	k.fs.Put(name, append([]byte(nil), data...))
+}
+
+// ReadFile returns a copy of a file's current contents, re-reading the
+// backing extent first on a backed FS (so a caller reloading a binary
+// sees the sectors as they are now, tampered or not).
+func (k *Kernel) ReadFile(name string) ([]byte, bool) {
+	k.fs.Refresh(name)
+	f, ok := k.fs.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.Data...), true
+}
+
 // AttachDisk installs the platform's block device (set by the chip at
 // boot; nil leaves the disk syscalls failing cleanly).
 func (k *Kernel) AttachDisk(d *device.Disk) { k.disk = d }
@@ -414,6 +433,10 @@ func (k *Kernel) Syscall(p *Process, cpu CPU, num int) (uint64, error) {
 		f, ok := k.fs.Lookup(path)
 		if !ok {
 			f = k.fs.Create(path)
+		} else {
+			// On a backed FS the sectors are the truth: re-read the
+			// extent so changes below the fs layer are seen at open.
+			k.fs.Refresh(path)
 		}
 		d := p.fds.insert(f, appendMode)
 		if appendMode {
@@ -460,6 +483,7 @@ func (k *Kernel) Syscall(p *Process, cpu CPU, num int) (uint64, error) {
 		// verified by the SyncPoint above.
 		d.File.Data = append(d.File.Data[:d.Offset], buf...)
 		d.Offset += len(buf)
+		k.fs.Flush(d.File.Name)
 		cpu.SetReg(1, uint32(len(buf)))
 
 	case SysSpawn:
@@ -476,6 +500,7 @@ func (k *Kernel) Syscall(p *Process, cpu CPU, num int) (uint64, error) {
 		}
 		k.auditLog.Data = append(k.auditLog.Data, buf...)
 		k.auditLog.Data = append(k.auditLog.Data, '\n')
+		k.fs.Flush(k.auditLog.Name)
 		cpu.SetReg(1, uint32(len(buf)))
 
 	case SysGetPID:

@@ -51,7 +51,10 @@ func (as *AddressSpace) DecodeState(r *wire.Reader) {
 	}
 }
 
-// EncodeState writes the file system in sorted name order.
+// EncodeState writes the file system in sorted name order, then the
+// block-store extent table (empty on an unbacked FS; the store
+// attachment itself is boot-time wiring, and the sector contents are
+// the device's own snapshot).
 func (fs *FS) EncodeState(w *wire.Writer) {
 	names := fs.Names()
 	w.Len(len(names))
@@ -59,6 +62,21 @@ func (fs *FS) EncodeState(w *wire.Writer) {
 		w.String(n)
 		w.Blob(fs.files[n].Data)
 	}
+
+	backed := make([]string, 0, len(fs.extents))
+	for n := range fs.extents {
+		backed = append(backed, n)
+	}
+	sort.Strings(backed)
+	w.Len(len(backed))
+	for _, n := range backed {
+		e := fs.extents[n]
+		w.String(n)
+		w.U32(e.Start)
+		w.U32(e.Count)
+		w.U32(e.Length)
+	}
+	w.U32(fs.nextSector)
 }
 
 // DecodeState rebuilds the file store in place.
@@ -79,6 +97,32 @@ func (fs *FS) DecodeState(r *wire.Reader) {
 		prev = name
 		fs.files[name] = &File{Name: name, Data: data}
 	}
+
+	n = r.Len(4 + 4 + 4 + 4)
+	fs.extents = make(map[string]Extent, n)
+	prev = ""
+	for i := 0; i < n; i++ {
+		name := r.String()
+		e := Extent{Start: r.U32(), Count: r.U32(), Length: r.U32()}
+		if r.Err() != nil {
+			return
+		}
+		if i > 0 && name <= prev {
+			r.Failf("oslite: extent names out of order at %q", name)
+			return
+		}
+		if _, ok := fs.files[name]; !ok {
+			r.Failf("oslite: extent for missing file %q", name)
+			return
+		}
+		if e.Length > e.Count*SectorBytes {
+			r.Failf("oslite: extent for %q longer (%d) than its %d sectors", name, e.Length, e.Count)
+			return
+		}
+		prev = name
+		fs.extents[name] = e
+	}
+	fs.nextSector = r.U32()
 }
 
 func (t *descriptorTable) encodeState(w *wire.Writer) {

@@ -185,6 +185,7 @@ func encodeConfig(w *wire.Writer, cfg chip.Config) {
 	w.U64(cfg.HeartbeatMissLimit)
 	w.Int(int(cfg.Degradation))
 	w.U64(cfg.MetricsEvery)
+	w.Bool(cfg.LegacyDeviceWiring)
 }
 
 func decodeConfig(r *wire.Reader) chip.Config {
@@ -254,6 +255,7 @@ func decodeConfig(r *wire.Reader) chip.Config {
 	cfg.HeartbeatMissLimit = r.U64()
 	cfg.Degradation = chip.DegradationMode(r.Int())
 	cfg.MetricsEvery = r.U64()
+	cfg.LegacyDeviceWiring = r.Bool()
 
 	// Structural ceilings. Every config in a genuine snapshot passed
 	// chip.New once, so real values sit orders of magnitude below these
